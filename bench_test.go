@@ -1,0 +1,255 @@
+package citymesh_test
+
+// This file is the benchmark harness mandated by DESIGN.md: one testing.B
+// benchmark per table and figure in the paper, plus the ablations. Each
+// benchmark runs the same experiment code the cmd/ binaries use and reports
+// the headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every row/series the paper reports (at a reduced Scale so the
+// harness completes in minutes; the cmd/ tools run full size).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"citymesh/internal/experiments"
+)
+
+// BenchmarkTable1MeasurementStudy regenerates Table 1 (measurements and
+// unique APs per survey area).
+func BenchmarkTable1MeasurementStudy(b *testing.B) {
+	var res *experiments.MeasurementStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasurementStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows["downtown"].UniqueAPs), "downtownAPs")
+	b.ReportMetric(float64(res.Rows["river"].UniqueAPs), "riverAPs")
+}
+
+// BenchmarkFigure1aMACsPerMeasurement regenerates Figure 1a's CDF medians.
+func BenchmarkFigure1aMACsPerMeasurement(b *testing.B) {
+	var res *experiments.MeasurementStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasurementStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MACsPerMeasurement["downtown"].Quantile(0.5), "downtownP50macs")
+	b.ReportMetric(res.MACsPerMeasurement["river"].Quantile(0.5), "riverP50macs")
+}
+
+// BenchmarkFigure1bAPSpread regenerates Figure 1b's spread CDF medians.
+func BenchmarkFigure1bAPSpread(b *testing.B) {
+	var res *experiments.MeasurementStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasurementStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Spread["campus"].Quantile(0.5), "campusP50spreadM")
+	b.ReportMetric(res.Spread["river"].Quantile(0.5), "riverP50spreadM")
+}
+
+// BenchmarkFigure2CommonAPs regenerates Figure 2 (common APs vs pair
+// distance).
+func BenchmarkFigure2CommonAPs(b *testing.B) {
+	var res *experiments.MeasurementStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MeasurementStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sums := res.CommonByDistance["downtown"].Summaries()
+	if len(sums) > 0 {
+		b.ReportMetric(sums[0].P50, "nearBinP50common")
+	}
+}
+
+// BenchmarkFigure5Render regenerates the Figure 5 panels (footprints and AP
+// graph SVGs).
+func BenchmarkFigure5Render(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Figure5("boston", 0.5, io.Discard, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6PerCity regenerates Figure 6: reachability,
+// deliverability and transmission overhead for every preset city (X2's 13x
+// overhead figure is the overhead metric here).
+func BenchmarkFigure6PerCity(b *testing.B) {
+	cfg := experiments.Figure6Config{
+		ReachPairs:   300,
+		DeliverPairs: 20,
+		Seed:         1,
+		Scale:        0.5,
+	}
+	var rows []experiments.Figure6Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure6(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Reachability, r.City+"_reach")
+		b.ReportMetric(r.Deliverability, r.City+"_deliv")
+		b.ReportMetric(r.OverheadMedian, r.City+"_ovhP50")
+	}
+}
+
+// BenchmarkFigure7SingleSimulation regenerates Figure 7 (one rendered
+// simulation with conduit/forwarding overlay).
+func BenchmarkFigure7SingleSimulation(b *testing.B) {
+	var res experiments.Figure7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure7("boston", 0.5, 3, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Forwarded), "conduitAPs")
+	b.ReportMetric(float64(res.ReceivedOnly), "receiveOnlyAPs")
+}
+
+// BenchmarkHeaderSizeBits regenerates the §4 in-text result: compressed
+// source-route header of median 175 / p90 225 bits.
+func BenchmarkHeaderSizeBits(b *testing.B) {
+	var res experiments.HeaderSizeResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.HeaderSizes("boston", 0.75, 1, 150)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RouteBits.P50, "routeBitsP50")
+	b.ReportMetric(res.RouteBits.P90, "routeBitsP90")
+	b.ReportMetric(res.FullHeaderBits.P50, "headerBitsP50")
+}
+
+// BenchmarkAblationConduitWidth regenerates A1: the conduit width W sweep.
+func BenchmarkAblationConduitWidth(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ConduitWidthSweep("boston", 0.4, 1, []float64{25, 50, 100}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Deliverability, r.Label+"_deliv")
+	}
+}
+
+// BenchmarkAblationEdgeWeightExponent regenerates A2: the cubed-distance
+// design choice versus linear and squared weights.
+func BenchmarkAblationEdgeWeightExponent(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.WeightExponentSweep("boston", 0.4, 1, []float64{1, 2, 3}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Deliverability, r.Label+"_deliv")
+	}
+}
+
+// BenchmarkBaselineComparison regenerates A3: CityMesh vs flooding, gossip,
+// greedy geographic and the AODV discovery-cost model.
+func BenchmarkBaselineComparison(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BaselineComparison("boston", 0.4, 1, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.BroadcastsP50, r.Label+"_bcastP50")
+	}
+}
+
+// BenchmarkFailureInjection regenerates A4: deliverability versus the
+// fraction of failed or compromised APs.
+func BenchmarkFailureInjection(b *testing.B) {
+	var rows []experiments.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.FailureInjection("boston", 0.4, 1, []float64{0, 0.2, 0.4}, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Deliverability, r.Label+"_deliv")
+	}
+}
+
+// BenchmarkMultipathUnderAttack regenerates A5: k-route multipath
+// deliverability under compromised (blackhole) APs.
+func BenchmarkMultipathUnderAttack(b *testing.B) {
+	var rows []experiments.SecurityRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MultipathUnderAttack("boston", 0.4, 1, []float64{0, 0.1}, []int{1, 3}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Deliverability, fmt.Sprintf("atk%.0f_k%d_deliv", 100*r.AttackFrac, r.Paths))
+	}
+}
+
+// BenchmarkRadioModels regenerates A6: PHY-model fidelity ablation.
+func BenchmarkRadioModels(b *testing.B) {
+	var rows []experiments.RadioRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RadioModelSweep("boston", 0.4, 1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, r := range rows {
+		b.ReportMetric(r.Deliverability, fmt.Sprintf("model%d_deliv", i))
+	}
+}
+
+// BenchmarkGeocastCoverage regenerates A7: geospatial-messaging coverage by
+// target radius.
+func BenchmarkGeocastCoverage(b *testing.B) {
+	var rows []experiments.GeocastRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.GeocastSweep("boston", 0.4, 1, []float64{100, 250}, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.CoverageP50, fmt.Sprintf("r%.0f_covP50", r.RadiusM))
+	}
+}

@@ -1,0 +1,92 @@
+// Package citymesh is a from-scratch Go implementation of CityMesh, the
+// city-scale decentralized fallback network (DFN) proposed in "The Case for
+// Decentralized Fallback Networks" (HotNets '24).
+//
+// CityMesh routes messages across a city's existing Wi-Fi access points
+// with zero routing metadata exchanged between nodes: the sender computes a
+// building route over a graph derived from geospatial map data, compresses
+// it into waypoint buildings, and every AP makes a purely local rebroadcast
+// decision — "am I inside one of the conduits between those waypoints?"
+//
+// The package re-exports the library's public surface; the implementation
+// lives in internal/ packages:
+//
+//   - internal/osm — OpenStreetMap parsing and footprint extraction
+//   - internal/citygen — synthetic city generation (offline evaluation)
+//   - internal/buildinggraph — cubed-weight building graph + Dijkstra
+//   - internal/conduit — the paper's route-compression algorithm
+//   - internal/packet — the wire format
+//   - internal/mesh — AP placement and the realized AP graph
+//   - internal/sim — the discrete-event radio simulator
+//   - internal/routing — the conduit policy and baselines
+//   - internal/postbox — self-certifying names and sealed messages
+//   - internal/agent — the per-AP software agent (in-proc and UDP)
+//   - internal/experiments — the paper's tables and figures
+//
+// Quickstart:
+//
+//	net, err := citymesh.FromPreset("boston", citymesh.DefaultConfig())
+//	if err != nil { ... }
+//	res, err := net.Send(src, dst, []byte("are you safe?"), citymesh.DefaultSimConfig())
+package citymesh
+
+import (
+	"io"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/conduit"
+	"citymesh/internal/core"
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+	"citymesh/internal/sim"
+)
+
+// Config re-exports the deployment configuration.
+type Config = core.Config
+
+// Network re-exports the deployment type.
+type Network = core.Network
+
+// SendResult re-exports the end-to-end send outcome.
+type SendResult = core.SendResult
+
+// Route re-exports the compressed building route.
+type Route = conduit.Route
+
+// Packet re-exports the wire packet.
+type Packet = packet.Packet
+
+// SimConfig re-exports the simulator configuration.
+type SimConfig = sim.Config
+
+// SimResult re-exports the simulator outcome.
+type SimResult = sim.Result
+
+// City re-exports the planar city map.
+type City = osm.City
+
+// CitySpec re-exports the synthetic city specification.
+type CitySpec = citygen.Spec
+
+// DefaultConfig returns the paper's evaluation parameters (50 m range,
+// 1 AP / 200 m², conduit width 50 m, cubed edge weights).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultSimConfig returns the default event-simulation parameters.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// FromPreset builds a network over one of the built-in synthetic cities
+// (see PresetNames).
+func FromPreset(name string, cfg Config) (*Network, error) { return core.FromPreset(name, cfg) }
+
+// FromSpec builds a network over an explicitly specified synthetic city.
+func FromSpec(spec CitySpec, cfg Config) (*Network, error) { return core.FromSpec(spec, cfg) }
+
+// FromOSM builds a network from an OpenStreetMap XML extract — the
+// production path for real map data.
+func FromOSM(r io.Reader, name string, cfg Config) (*Network, error) {
+	return core.FromOSM(r, name, cfg)
+}
+
+// PresetNames lists the built-in synthetic cities.
+func PresetNames() []string { return citygen.PresetNames() }

@@ -1,0 +1,40 @@
+package citymesh_test
+
+import (
+	"testing"
+
+	"citymesh"
+	"citymesh/internal/citygen"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	spec := citygen.SmallTestSpec(7)
+	net, err := citymesh.FromSpec(spec, citymesh.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := net.RandomPairs(1, 100)
+	for _, p := range pairs {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := net.Send(p[0], p[1], []byte("hello"), citymesh.DefaultSimConfig())
+		if err != nil {
+			continue
+		}
+		if res.Sim.Delivered {
+			return // one delivered message is enough for the smoke test
+		}
+	}
+	t.Fatal("no message delivered through the public API")
+}
+
+func TestPresetNames(t *testing.T) {
+	names := citymesh.PresetNames()
+	if len(names) < 6 {
+		t.Fatalf("presets = %v", names)
+	}
+	if _, err := citymesh.FromPreset("definitely-not-a-city", citymesh.DefaultConfig()); err == nil {
+		t.Error("unknown preset should error")
+	}
+}

@@ -1,0 +1,70 @@
+// Command citygen generates a synthetic city and writes it as OSM XML —
+// the offline stand-in for downloading a real OpenStreetMap extract. The
+// output feeds straight back into the library via citymesh.FromOSM.
+//
+// Usage:
+//
+//	citygen -list
+//	citygen -preset boston -o boston.osm
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/osm"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", "boston", "preset city to generate")
+		out    = flag.String("o", "-", "output file (default stdout)")
+		seed   = flag.Int64("seed", 0, "override the preset's seed (0 keeps it)")
+		list   = flag.Bool("list", false, "list presets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range citygen.PresetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	spec, ok := citygen.Preset(*preset)
+	if !ok {
+		fail(fmt.Errorf("unknown preset %q (try -list)", *preset))
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	plan, err := citygen.Generate(spec)
+	if err != nil {
+		fail(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := osm.Write(w, plan.Document()); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "citygen: %s: %d buildings, %d water, %d parks, %d highways\n",
+		spec.Name, len(plan.Buildings), len(plan.Water), len(plan.Parks), len(plan.Highways))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "citygen:", err)
+	os.Exit(1)
+}

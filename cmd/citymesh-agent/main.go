@@ -1,0 +1,147 @@
+// Command citymesh-agent runs one AP software agent over UDP — the unit of
+// the paper's proposed real-world deployment (§3: "APs running a small
+// software agent"; §6: a to-scale testbed). Each agent loads the city map,
+// listens on a UDP socket, and forwards CityMesh frames according to the
+// conduit rule. Radio adjacency is configured explicitly with -neighbors,
+// standing in for physical proximity.
+//
+// A small testbed is three shells:
+//
+//	citygen -preset boston -o boston.osm
+//	citymesh-agent -city boston.osm -listen 127.0.0.1:7001 -building 12
+//	citymesh-agent -city boston.osm -listen 127.0.0.1:7002 -building 57 \
+//	    -neighbors 127.0.0.1:7001
+//
+// and a sender injecting via -send (see examples/udp-testbed for a fully
+// scripted version).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"citymesh/internal/agent"
+	"citymesh/internal/core"
+	"citymesh/internal/geo"
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+)
+
+func main() {
+	var (
+		cityFile  = flag.String("city", "", "OSM XML city map (required)")
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		buildingF = flag.Int("building", -1, "dense building index hosting this AP (-1: relay)")
+		neighbors = flag.String("neighbors", "", "comma-separated neighbor UDP addresses")
+		send      = flag.String("send", "", "inject a message: dstBuilding:text (requires -building)")
+		stats     = flag.Duration("stats", 10*time.Second, "stats print interval (0: off)")
+	)
+	flag.Parse()
+
+	if *cityFile == "" {
+		fail(fmt.Errorf("-city is required"))
+	}
+	f, err := os.Open(*cityFile)
+	if err != nil {
+		fail(err)
+	}
+	netw, err := core.FromOSM(f, *cityFile, core.DefaultConfig())
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	city := netw.City
+
+	pos := cityPos(city, *buildingF)
+	a := agent.New(agent.Config{ID: 0, Pos: pos, Building: *buildingF, City: city}, nil)
+	a.OnDeliver(func(p *packet.Packet) {
+		fmt.Printf("DELIVERED msg=%016x from building %d: %q\n",
+			p.Header.MsgID, p.Header.Src(), p.Payload)
+	})
+	tr, err := agent.NewUDPTransport(*listen, a.HandleFrame)
+	if err != nil {
+		fail(err)
+	}
+	a.Attach(tr)
+	defer a.Close()
+	fmt.Printf("citymesh-agent: listening on %s (building %d, pos %v)\n", tr.Addr(), *buildingF, pos)
+
+	if *neighbors != "" {
+		var addrs []*net.UDPAddr
+		for _, s := range strings.Split(*neighbors, ",") {
+			ua, err := net.ResolveUDPAddr("udp", strings.TrimSpace(s))
+			if err != nil {
+				fail(fmt.Errorf("neighbor %q: %w", s, err))
+			}
+			addrs = append(addrs, ua)
+		}
+		tr.SetNeighbors(addrs)
+	}
+
+	if *send != "" {
+		if *buildingF < 0 {
+			fail(fmt.Errorf("-send requires -building"))
+		}
+		parts := strings.SplitN(*send, ":", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("-send wants dstBuilding:text"))
+		}
+		var dst int
+		if _, err := fmt.Sscanf(parts[0], "%d", &dst); err != nil {
+			fail(fmt.Errorf("bad destination %q", parts[0]))
+		}
+		route, err := netw.PlanRoute(*buildingF, dst)
+		if err != nil {
+			fail(err)
+		}
+		pkt, err := netw.NewPacket(route, []byte(parts[1]))
+		if err != nil {
+			fail(err)
+		}
+		if err := a.Inject(pkt); err != nil {
+			fail(err)
+		}
+		fmt.Printf("injected msg=%016x to building %d via %d waypoints\n",
+			pkt.Header.MsgID, dst, len(route.Waypoints))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	var tick <-chan time.Time
+	if *stats > 0 {
+		t := time.NewTicker(*stats)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-sig:
+			st := a.Stats()
+			fmt.Printf("final stats: %+v\n", st)
+			return
+		case <-tick:
+			st := a.Stats()
+			fmt.Printf("stats: %+v\n", st)
+		}
+	}
+}
+
+// cityPos picks the agent's position: the building centroid, or the map
+// center for relays.
+func cityPos(city *osm.City, building int) geo.Point {
+	if building >= 0 && building < city.NumBuildings() {
+		return city.Buildings[building].Centroid
+	}
+	return city.Bounds.Center()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "citymesh-agent:", err)
+	os.Exit(1)
+}

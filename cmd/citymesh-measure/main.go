@@ -1,0 +1,95 @@
+// Command citymesh-measure reproduces the paper's §2 measurement study on a
+// synthetic city: Table 1 (measurements and unique APs per survey area),
+// Figure 1a/1b (CDF medians of MACs-per-measurement and per-AP spread), and
+// Figure 2 (common APs vs measurement-pair distance).
+//
+// Usage:
+//
+//	citymesh-measure [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"citymesh/internal/experiments"
+	"citymesh/internal/svgrender"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "survey seed")
+		csv  = flag.Bool("csv", false, "emit quantile CSV instead of tables")
+		svg  = flag.String("svg", "", "also write Figure 1a/1b/2 SVG charts to this directory")
+	)
+	flag.Parse()
+
+	res, err := experiments.MeasurementStudy(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "citymesh-measure:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Println(res.Table1Text())
+	fmt.Println(res.Figure1Text())
+	fmt.Println(res.Figure2Text())
+
+	if *svg != "" {
+		if err := writeCharts(res, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, "citymesh-measure:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCharts renders the Figure 1a/1b CDFs and per-area Figure 2 box
+// plots as SVG files.
+func writeCharts(res *experiments.MeasurementStudyResult, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var macs, spreads []svgrender.CDFSeries
+	for _, area := range res.Areas {
+		macs = append(macs, svgrender.CDFSeries{Name: area, CDF: res.MACsPerMeasurement[area]})
+		spreads = append(spreads, svgrender.CDFSeries{Name: area, CDF: res.Spread[area]})
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", f.Name())
+		return nil
+	}
+	if err := write("fig1a_macs_cdf.svg", func(f *os.File) error {
+		return svgrender.RenderCDFChart(f, "Figure 1a: MACs per measurement", "MAC addresses seen", macs)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig1b_spread_cdf.svg", func(f *os.File) error {
+		return svgrender.RenderCDFChart(f, "Figure 1b: per-AP location spread", "spread (m)", spreads)
+	}); err != nil {
+		return err
+	}
+	for _, area := range res.Areas {
+		area := area
+		if err := write("fig2_"+area+"_common_aps.svg", func(f *os.File) error {
+			return svgrender.RenderBinnedBoxChart(f,
+				"Figure 2: common APs vs pair distance ("+area+")",
+				"measurement-pair distance (m)", "APs observed in common",
+				res.CommonByDistance[area])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command citymesh-render reproduces the paper's map figures as SVG:
+// Figure 5 (building footprints and the AP graph) and Figure 7 (a single
+// simulation with the building route, the conduit, forwarding APs in light
+// blue and receive-only APs in red).
+//
+// Usage:
+//
+//	citymesh-render -fig 5 -city boston -out ./figs
+//	citymesh-render -fig 7 -city boston -seed 3 -out ./figs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"citymesh/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.Int("fig", 5, "figure to render: 5 or 7")
+		city  = flag.String("city", "boston", "preset city")
+		out   = flag.String("out", ".", "output directory")
+		scale = flag.Float64("scale", 1.0, "shrink city extents by this factor (0,1]")
+		seed  = flag.Int64("seed", 3, "simulation seed (figure 7)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+	switch *fig {
+	case 5:
+		fa, err := os.Create(filepath.Join(*out, fmt.Sprintf("fig5a_%s_footprints.svg", *city)))
+		if err != nil {
+			fail(err)
+		}
+		defer fa.Close()
+		fb, err := os.Create(filepath.Join(*out, fmt.Sprintf("fig5b_%s_mesh.svg", *city)))
+		if err != nil {
+			fail(err)
+		}
+		defer fb.Close()
+		if err := experiments.Figure5(*city, *scale, fa, fb); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s and %s\n", fa.Name(), fb.Name())
+	case 7:
+		f, err := os.Create(filepath.Join(*out, fmt.Sprintf("fig7_%s_simulation.svg", *city)))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		res, err := experiments.Figure7(*city, *scale, *seed, f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (src=%d dst=%d delivered=%v forwardingAPs=%d receiveOnlyAPs=%d broadcasts=%d)\n",
+			f.Name(), res.Src, res.Dst, res.Delivered, res.Forwarded, res.ReceivedOnly, res.Broadcasts)
+	default:
+		fail(fmt.Errorf("unknown figure %d (want 5 or 7)", *fig))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "citymesh-render:", err)
+	os.Exit(1)
+}

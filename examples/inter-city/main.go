@@ -1,0 +1,120 @@
+// Inter-city DFN: §1 asks "how do we form an inter-network of DFNs across
+// regions?" and what role satellite links should play between population
+// centers. This example stands up three city-scale DFNs, peers them through
+// gateway buildings — one pair over surviving fiber, one over a satellite
+// bounce — and delivers a message end-to-end: conduit routing inside the
+// source city, two link hops through a transit region, conduit routing
+// inside the destination city. It then fails a link and shows the
+// region-level reroute.
+//
+//	go run ./examples/inter-city
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"citymesh"
+	"citymesh/internal/internetwork"
+	"citymesh/internal/sim"
+)
+
+func main() {
+	in := internetwork.New()
+
+	// Three regions. Gateways: a building in each city's main island.
+	mk := func(id internetwork.RegionID, preset string) *internetwork.Region {
+		net, err := citymesh.FromPreset(preset, citymesh.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := &internetwork.Region{ID: id, Net: net, Gateway: pickGateway(net)}
+		if err := in.AddRegion(r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("region %-10s: %d buildings, %d APs, gateway building %d\n",
+			id, net.City.NumBuildings(), net.Mesh.NumAPs(), r.Gateway)
+		return r
+	}
+	boston := mk("boston", "gridtown")
+	worcester := mk("worcester", "cambridge")
+	providence := mk("providence", "chicago")
+	_ = worcester
+
+	must(in.AddLink(internetwork.Link{A: "boston", B: "worcester", Kind: internetwork.LinkFiber}))
+	must(in.AddLink(internetwork.Link{A: "worcester", B: "providence", Kind: internetwork.LinkSatellite}))
+
+	path, latency, err := in.RegionPath("boston", "providence")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("region route: %v (link latency %.0f ms)\n", path, latency*1000)
+
+	// Pick endpoints that can reach their gateways; retry a few source and
+	// destination combinations since per-leg deliverability is below 1.
+	var res internetwork.SendResult
+	for attempt := 0; attempt < 8; attempt++ {
+		src := pickReachable(boston, int64(20+attempt))
+		dst := pickReachable(providence, int64(40+attempt))
+		res, err = in.Send(
+			internetwork.Address{Region: "boston", Building: src},
+			internetwork.Address{Region: "providence", Building: dst},
+			[]byte("inter-city safety check"), sim.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Delivered {
+			break
+		}
+	}
+	fmt.Printf("delivered=%v via %d legs, %d mesh broadcasts, ~%.0f ms end to end\n",
+		res.Delivered, len(res.Legs), res.TotalBroadcasts, res.EndToEndLatency()*1000)
+
+	// Fail the satellite link: the inter-network partitions (no alternate).
+	in.FailLink("worcester", "providence", true)
+	if _, _, err := in.RegionPath("boston", "providence"); err != nil {
+		fmt.Println("satellite link down: providence unreachable —", err)
+	}
+	// A backup HF radio link restores connectivity at higher latency.
+	must(in.AddLink(internetwork.Link{A: "boston", B: "providence", Kind: internetwork.LinkHFRadio}))
+	path, latency, err = in.RegionPath("boston", "providence")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with backup HF link: %v (link latency %.0f ms)\n", path, latency*1000)
+}
+
+// pickGateway returns a building inside the mesh's largest island.
+func pickGateway(net *citymesh.Network) int {
+	islands := net.Mesh.Islands()
+	if len(islands) == 0 {
+		return 0
+	}
+	for b := 0; b < net.City.NumBuildings(); b++ {
+		aps := net.Mesh.APsInBuilding(b)
+		if len(aps) > 0 && net.Mesh.ComponentOf(int(aps[0])) == islands[0].Component {
+			return b
+		}
+	}
+	return 0
+}
+
+// pickReachable returns a building that can reach the region's gateway.
+func pickReachable(r *internetwork.Region, seed int64) int {
+	for _, p := range r.Net.RandomPairs(seed, 300) {
+		b := p[0]
+		if b == r.Gateway || !r.Net.Reachable(b, r.Gateway) {
+			continue
+		}
+		if _, err := r.Net.PlanRoute(b, r.Gateway); err == nil {
+			return b
+		}
+	}
+	return r.Gateway
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

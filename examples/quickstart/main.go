@@ -1,0 +1,59 @@
+// Quickstart: build a synthetic city, plan a building route, and deliver a
+// message through the simulated AP mesh with the CityMesh conduit policy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"citymesh"
+)
+
+func main() {
+	// Build a CityMesh deployment over the "boston" preset with the
+	// paper's parameters: 50 m transmission range, 1 AP per 200 m² of
+	// building footprint, conduit width 50 m, cubed-distance edge weights.
+	net, err := citymesh.FromPreset("boston", citymesh.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("city: %d buildings, %d APs, %d building-graph edges\n",
+		net.City.NumBuildings(), net.Mesh.NumAPs(), net.Graph.NumEdges())
+
+	// Try reachable pairs until one delivers. Deliverability is high but
+	// not total (see EXPERIMENTS.md): some conduits have a choke point
+	// where the realized AP placement leaves a >range gap inside the band.
+	var res citymesh.SendResult
+	var src, dst, attempts int
+	for _, p := range net.RandomPairs(42, 500) {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		r, err := net.Send(p[0], p[1], []byte("are you safe? reply via my postbox"), citymesh.DefaultSimConfig())
+		if err != nil {
+			continue
+		}
+		attempts++
+		if r.Sim.Delivered {
+			res, src, dst = r, p[0], p[1]
+			break
+		}
+	}
+	if !res.Sim.Delivered {
+		log.Fatal("no pair delivered; try a different seed")
+	}
+
+	path, _ := net.BuildingPath(src, dst)
+	fmt.Printf("route %d -> %d (attempt %d): %d buildings compressed to %d waypoints\n",
+		src, dst, attempts, len(path), len(res.Route.Waypoints))
+	fmt.Printf("header: %d bits (compressed route: %d bits)\n",
+		res.Packet.Header.HeaderBits(), res.Packet.Header.RouteBits())
+	fmt.Printf("delivered: %v in %.0f ms after %d broadcasts",
+		res.Sim.Delivered, res.Sim.DeliveryTime*1000, res.Sim.Broadcasts)
+	if res.IdealTransmissions > 0 {
+		fmt.Printf(" (overhead %.1fx vs ideal %d unicasts)", res.Overhead(), res.IdealTransmissions)
+	}
+	fmt.Println()
+}

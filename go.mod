@@ -1,0 +1,3 @@
+module citymesh
+
+go 1.22

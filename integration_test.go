@@ -1,0 +1,177 @@
+package citymesh_test
+
+// End-to-end integration tests across the whole stack: synthetic city →
+// OSM XML → parse/extract → network build → routing → event simulation →
+// postbox application, exactly the path a real deployment would take with a
+// real map extract.
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"citymesh"
+	"citymesh/internal/apps"
+	"citymesh/internal/citygen"
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+)
+
+// TestFullPipelineOSMToDelivery drives the production path: generate a
+// city, serialize it to OSM XML, build the network from the XML, and
+// deliver a message.
+func TestFullPipelineOSMToDelivery(t *testing.T) {
+	plan, err := citygen.Generate(citygen.SmallTestSpec(401))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xml bytes.Buffer
+	if err := osm.Write(&xml, plan.Document()); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("OSM XML extract: %d bytes, %d buildings generated", xml.Len(), len(plan.Buildings))
+
+	net, err := citymesh.FromOSM(&xml, "integration", citymesh.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.City.NumBuildings() < len(plan.Buildings)*8/10 {
+		t.Fatalf("extraction lost buildings: %d of %d", net.City.NumBuildings(), len(plan.Buildings))
+	}
+
+	delivered := 0
+	attempted := 0
+	for _, p := range net.RandomPairs(1, 300) {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := net.Send(p[0], p[1], []byte("integration"), citymesh.DefaultSimConfig())
+		if err != nil {
+			continue
+		}
+		attempted++
+		if res.Sim.Delivered {
+			delivered++
+			// Wire-format sanity on the real packet.
+			frame, err := res.Packet.Encode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := packet.Decode(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Header.Dst() != p[1] {
+				t.Fatal("wire round trip changed destination")
+			}
+		}
+		if attempted >= 20 {
+			break
+		}
+	}
+	if attempted == 0 {
+		t.Fatal("no sends attempted")
+	}
+	if float64(delivered)/float64(attempted) < 0.5 {
+		t.Errorf("integration deliverability %d/%d", delivered, attempted)
+	}
+}
+
+// TestFullPipelinePostboxRoundTrip exercises §3's four steps end to end:
+// out-of-band postbox info, sealed send over the mesh, store at the
+// destination, over-the-mesh poll and reply, decrypt.
+func TestFullPipelinePostboxRoundTrip(t *testing.T) {
+	net, err := citymesh.FromSpec(citygen.SmallTestSpec(402), citymesh.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := postbox.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := postbox.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a bidirectionally deliverable pair: Alice's building and Bob's
+	// postbox building.
+	var aliceB, bobB int
+	found := false
+	for _, p := range net.RandomPairs(2, 300) {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		r1, e1 := net.Send(p[0], p[1], nil, citymesh.DefaultSimConfig())
+		r2, e2 := net.Send(p[1], p[0], nil, citymesh.DefaultSimConfig())
+		if e1 == nil && e2 == nil && r1.Sim.Delivered && r2.Sim.Delivered {
+			aliceB, bobB = p[0], p[1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no bidirectional pair")
+	}
+
+	// Step 1: out-of-band exchange.
+	info := postbox.PostboxInfo{Identity: bob.Public(), Building: bobB}
+	decoded, err := postbox.DecodePostboxInfo(postbox.EncodePostboxInfo(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Identity.Verify(bob.Address()) {
+		t.Fatal("self-certification failed")
+	}
+
+	// Step 2+3: seal and send through the mesh.
+	sealed, err := postbox.Seal(rand.Reader, alice, decoded.Identity, []byte("meet at the shelter"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := net.PlanRoute(aliceB, decoded.Building)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := net.NewPacket(route, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt.Header.Flags |= packet.FlagPostbox | packet.FlagEncrypted
+	addr := bob.Address()
+	copy(pkt.Header.Postbox[:], addr[:])
+	res := sim.Run(net.Mesh, net.City, cityMeshPolicy(), pkt, citymesh.DefaultSimConfig())
+	if !res.Delivered {
+		t.Skip("send leg failed on this seed")
+	}
+
+	// The destination building's store accepts the message.
+	store := postbox.NewStore()
+	store.Put(addr, pkt.Payload, false)
+
+	// Step 4: Bob polls over the mesh from his current (different) building.
+	out, err := apps.Retrieve(net, store, bob, aliceB, bobB, 0, citymesh.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.PollDelivered || !out.ReplyDelivered {
+		t.Skipf("retrieval legs: poll=%v reply=%v", out.PollDelivered, out.ReplyDelivered)
+	}
+	if len(out.Messages) != 1 {
+		t.Fatalf("retrieved %d messages", len(out.Messages))
+	}
+	plain, sender, err := postbox.Open(bob, out.Messages[0].Sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "meet at the shelter" || sender.Address() != alice.Address() {
+		t.Errorf("plain=%q sender=%s", plain, sender.Address())
+	}
+}
+
+// cityMeshPolicy gives the integration tests the conduit policy without a
+// second import path for it.
+func cityMeshPolicy() sim.Policy { return routing.NewCityMesh() }

@@ -1,0 +1,222 @@
+// Package agent implements the "small software agent" the paper proposes
+// running on each Wi-Fi AP (§3): receive a CityMesh frame, suppress
+// duplicates, rebroadcast if and only if the AP lies inside a conduit
+// reconstructed from the packet header, and store messages addressed to
+// postboxes this AP hosts.
+//
+// An Agent is transport-agnostic: the in-process transport wires agents
+// together with the mesh adjacency for tests, and the UDP transport runs
+// real sockets on localhost — the repository's small-scale stand-in for the
+// paper's proposed OpenWrt deployment.
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"citymesh/internal/conduit"
+	"citymesh/internal/geo"
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
+)
+
+// Transport delivers encoded frames from this agent to its radio neighbors.
+// Implementations must be safe for concurrent Broadcast calls.
+type Transport interface {
+	// Broadcast sends the frame to every neighbor.
+	Broadcast(frame []byte) error
+	// Close releases transport resources.
+	Close() error
+}
+
+// Config describes one AP agent.
+type Config struct {
+	// ID is the agent's identifier (diagnostics only).
+	ID int
+	// Pos is the AP's location; the conduit test runs against it.
+	Pos geo.Point
+	// Building is the dense building index hosting this AP, or -1 for a
+	// relay AP outside any building.
+	Building int
+	// City is the agent's cached building map.
+	City *osm.City
+}
+
+// Stats counts an agent's activity.
+type Stats struct {
+	Received    int
+	Duplicates  int
+	Rebroadcast int
+	Stored      int
+	Dropped     int
+}
+
+// Agent is one AP's CityMesh runtime.
+type Agent struct {
+	cfg   Config
+	tr    Transport
+	store *postbox.Store
+
+	mu    sync.Mutex
+	seen  map[uint64]bool
+	stats Stats
+	// onDeliver fires when a packet for this agent's building arrives.
+	onDeliver func(*packet.Packet)
+}
+
+// New creates an agent. The transport may be nil until Attach.
+func New(cfg Config, tr Transport) *Agent {
+	return &Agent{
+		cfg:   cfg,
+		tr:    tr,
+		store: postbox.NewStore(),
+		seen:  make(map[uint64]bool),
+	}
+}
+
+// Attach sets the transport after construction (the in-process hub needs
+// the agent before it can build the transport).
+func (a *Agent) Attach(tr Transport) { a.tr = tr }
+
+// Store exposes the agent's postbox store.
+func (a *Agent) Store() *postbox.Store { return a.store }
+
+// OnDeliver registers a delivery callback, invoked (synchronously, off the
+// agent lock) whenever a packet destined to this agent's building arrives.
+func (a *Agent) OnDeliver(fn func(*packet.Packet)) {
+	a.mu.Lock()
+	a.onDeliver = fn
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the agent's counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// ID returns the agent's identifier.
+func (a *Agent) ID() int { return a.cfg.ID }
+
+// Inject submits a locally originated packet to the network: the paper's
+// step where Alice's device hands the message to the AP it associates with.
+// The injecting AP always transmits.
+func (a *Agent) Inject(pkt *packet.Packet) error {
+	frame, err := pkt.Encode(nil)
+	if err != nil {
+		return fmt.Errorf("agent %d: inject: %w", a.cfg.ID, err)
+	}
+	a.mu.Lock()
+	a.seen[pkt.Header.MsgID] = true
+	a.stats.Rebroadcast++
+	a.mu.Unlock()
+	a.maybeDeliver(pkt)
+	if a.tr == nil {
+		return fmt.Errorf("agent %d: no transport", a.cfg.ID)
+	}
+	return a.tr.Broadcast(frame)
+}
+
+// HandleFrame processes one received frame: decode, dedup, deliver or
+// store, and rebroadcast when inside the conduit. It is the Transport's
+// receive callback.
+func (a *Agent) HandleFrame(frame []byte) {
+	pkt, err := packet.Decode(frame)
+	if err != nil {
+		a.mu.Lock()
+		a.stats.Dropped++
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Lock()
+	a.stats.Received++
+	if a.seen[pkt.Header.MsgID] {
+		a.stats.Duplicates++
+		a.mu.Unlock()
+		return
+	}
+	a.seen[pkt.Header.MsgID] = true
+	a.mu.Unlock()
+
+	a.maybeDeliver(pkt)
+
+	if pkt.Header.TTL <= 1 {
+		return
+	}
+	if !a.insideConduit(pkt) {
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.Header.TTL--
+	out, err := fwd.Encode(nil)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.stats.Rebroadcast++
+	tr := a.tr
+	a.mu.Unlock()
+	if tr != nil {
+		_ = tr.Broadcast(out)
+	}
+}
+
+// maybeDeliver stores the payload if the packet is addressed to this
+// agent's building.
+func (a *Agent) maybeDeliver(pkt *packet.Packet) {
+	if a.cfg.Building < 0 || pkt.Header.Dst() != a.cfg.Building {
+		return
+	}
+	a.mu.Lock()
+	cb := a.onDeliver
+	if pkt.Header.Flags&packet.FlagPostbox != 0 {
+		var addr postbox.Address
+		copy(addr[:], pkt.Header.Postbox[:])
+		urgent := pkt.Header.Flags&packet.FlagUrgent != 0
+		a.mu.Unlock()
+		a.store.Put(addr, pkt.Payload, urgent)
+		a.mu.Lock()
+		a.stats.Stored++
+	}
+	a.mu.Unlock()
+	if cb != nil {
+		cb(pkt)
+	}
+}
+
+// insideConduit evaluates the paper's stateless rebroadcast predicate: the
+// agent's building must fall within a conduit (all APs of an in-conduit
+// building rebroadcast, §4); relay agents outside any building use their
+// own position.
+func (a *Agent) insideConduit(pkt *packet.Packet) bool {
+	wps := make([]int, len(pkt.Header.Waypoints))
+	for i, w := range pkt.Header.Waypoints {
+		wps[i] = int(w)
+	}
+	r := conduit.Route{Waypoints: wps, Width: pkt.Header.WidthMeters()}
+	cs, err := r.Conduits(a.cfg.City)
+	if err != nil {
+		return false
+	}
+	pos := a.cfg.Pos
+	if b := a.cfg.Building; b >= 0 && b < a.cfg.City.NumBuildings() {
+		pos = a.cfg.City.Buildings[b].Centroid
+	}
+	return conduit.Contains(cs, pos)
+}
+
+// Close shuts the transport down.
+func (a *Agent) Close() error {
+	if a.tr == nil {
+		return nil
+	}
+	return a.tr.Close()
+}
+
+// Building returns the agent's building index.
+func (a *Agent) Building() int { return a.cfg.Building }
+
+// Pos returns the agent's location.
+func (a *Agent) Pos() geo.Point { return a.cfg.Pos }

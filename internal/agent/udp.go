@@ -1,0 +1,103 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPTransport is a real-socket transport: each agent listens on a UDP
+// port, and "radio" broadcast is emulated by unicasting the frame to every
+// neighbor's address. Neighbor sets are computed from AP geometry by the
+// caller, exactly as physical proximity would determine them — this is the
+// repository's localhost testbed for the paper's proposed real-world
+// deployment (§6).
+type UDPTransport struct {
+	conn *net.UDPConn
+
+	mu        sync.Mutex
+	neighbors []*net.UDPAddr
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// MaxFrameSize bounds a CityMesh UDP frame (well above any header +
+// low-bandwidth payload the system carries).
+const MaxFrameSize = 64 * 1024
+
+// NewUDPTransport binds a UDP socket on addr (e.g. "127.0.0.1:0") and
+// delivers inbound frames to onFrame until Close.
+func NewUDPTransport(addr string, onFrame func([]byte)) (*UDPTransport, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: listen %q: %w", addr, err)
+	}
+	t := &UDPTransport{conn: conn}
+	t.wg.Add(1)
+	go t.readLoop(onFrame)
+	return t, nil
+}
+
+// Addr returns the transport's bound address.
+func (t *UDPTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetNeighbors installs the addresses reached by Broadcast. The slice is
+// copied.
+func (t *UDPTransport) SetNeighbors(addrs []*net.UDPAddr) {
+	t.mu.Lock()
+	t.neighbors = append([]*net.UDPAddr(nil), addrs...)
+	t.mu.Unlock()
+}
+
+// Broadcast implements Transport: one datagram per neighbor.
+func (t *UDPTransport) Broadcast(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("agent: frame %d bytes exceeds max %d", len(frame), MaxFrameSize)
+	}
+	t.mu.Lock()
+	neighbors := t.neighbors
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return errors.New("agent: transport closed")
+	}
+	var firstErr error
+	for _, addr := range neighbors {
+		if _, err := t.conn.WriteToUDP(frame, addr); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (t *UDPTransport) readLoop(onFrame func([]byte)) {
+	defer t.wg.Done()
+	buf := make([]byte, MaxFrameSize)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		frame := append([]byte(nil), buf[:n]...)
+		onFrame(frame)
+	}
+}
+
+// Close shuts the socket and waits for the read loop to exit.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,437 @@
+package apps
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/geo"
+	"citymesh/internal/postbox"
+	"citymesh/internal/sim"
+)
+
+func authority(t testing.TB) (ed25519.PublicKey, ed25519.PrivateKey) {
+	t.Helper()
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub, priv
+}
+
+func TestAlertSignVerifyRoundTrip(t *testing.T) {
+	pub, priv := authority(t)
+	a := &Alert{Seq: 1, Severity: SeverityCritical, IssuedUnix: 1720000000,
+		Body: "Flood warning: move to high ground."}
+	SignAlert(a, priv)
+	if err := VerifyAlert(a, pub); err != nil {
+		t.Fatal(err)
+	}
+	enc := EncodeAlert(a)
+	dec, err := DecodeAlert(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seq != a.Seq || dec.Severity != a.Severity || dec.Body != a.Body || dec.IssuedUnix != a.IssuedUnix {
+		t.Errorf("decoded = %+v", dec)
+	}
+	if err := VerifyAlert(dec, pub); err != nil {
+		t.Errorf("decoded alert fails verify: %v", err)
+	}
+}
+
+func TestAlertForgeryRejected(t *testing.T) {
+	pub, priv := authority(t)
+	_, evilPriv := authority(t)
+	a := &Alert{Seq: 1, Severity: SeverityInfo, Body: "all clear"}
+	SignAlert(a, evilPriv)
+	if err := VerifyAlert(a, pub); !errors.Is(err, ErrAlertSignature) {
+		t.Errorf("forged alert verified: %v", err)
+	}
+	// Tampered body.
+	SignAlert(a, priv)
+	a.Body = "evacuate now (forged)"
+	if err := VerifyAlert(a, pub); err == nil {
+		t.Error("tampered alert verified")
+	}
+}
+
+func TestAlertReceiverReplay(t *testing.T) {
+	pub, priv := authority(t)
+	r := NewAlertReceiver(pub)
+	mk := func(seq uint64, body string) []byte {
+		a := &Alert{Seq: seq, Severity: SeverityWarning, Body: body}
+		SignAlert(a, priv)
+		return EncodeAlert(a)
+	}
+	if _, err := r.Accept(mk(5, "first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Accept(mk(5, "replay")); !errors.Is(err, ErrAlertReplay) {
+		t.Errorf("replay accepted: %v", err)
+	}
+	if _, err := r.Accept(mk(4, "older")); !errors.Is(err, ErrAlertReplay) {
+		t.Errorf("older accepted: %v", err)
+	}
+	if _, err := r.Accept(mk(6, "newer")); err != nil {
+		t.Errorf("newer rejected: %v", err)
+	}
+	if _, err := r.Accept([]byte("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestAlertDecodeErrors(t *testing.T) {
+	if _, err := DecodeAlert(nil); err == nil {
+		t.Error("nil decode should error")
+	}
+	if _, err := DecodeAlert([]byte{0, 0, 0, 200, 1, 2}); err == nil {
+		t.Error("truncated decode should error")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for s, want := range map[Severity]string{
+		SeverityInfo: "info", SeverityWarning: "warning",
+		SeverityCritical: "critical", Severity(9): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q", s, s.String())
+		}
+	}
+}
+
+func appsNetwork(t testing.TB, seed int64) *core.Network {
+	t.Helper()
+	n, err := core.FromSpec(citygen.SmallTestSpec(seed), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestGeocastCoverage(t *testing.T) {
+	n := appsNetwork(t, 201)
+	// Target: a disc in the downtown area; source: any building outside it.
+	center := geo.Pt(400, 300)
+	radius := 120.0
+	src := -1
+	for _, p := range n.RandomPairs(1, 100) {
+		if n.City.Buildings[p[0]].Centroid.Dist(center) > radius*2 {
+			anchor := n.Graph.NearestBuilding(center)
+			if n.Reachable(p[0], anchor) {
+				if _, err := n.PlanRoute(p[0], anchor); err == nil {
+					src = p[0]
+					break
+				}
+			}
+		}
+	}
+	if src < 0 {
+		t.Skip("no suitable source")
+	}
+	res, err := Geocast(n, src, center, radius, []byte("water distribution at city hall"), sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.APsInArea == 0 {
+		t.Fatal("no APs in target area")
+	}
+	if res.Coverage() < 0.5 {
+		t.Errorf("coverage = %.2f with %d/%d APs", res.Coverage(), res.APsCovered, res.APsInArea)
+	}
+	if res.Broadcasts == 0 {
+		t.Error("no broadcasts")
+	}
+}
+
+func TestGeocastErrors(t *testing.T) {
+	n := appsNetwork(t, 202)
+	if _, err := Geocast(n, 0, geo.Pt(0, 0), -5, nil, sim.DefaultConfig()); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+func TestGeocastResultCoverageZero(t *testing.T) {
+	if (GeocastResult{}).Coverage() != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestWalletPayAndLedger(t *testing.T) {
+	_, alicePriv := authority(t)
+	bobPub, _ := authority(t)
+	alice := NewWallet(alicePriv)
+
+	n1, err := alice.Pay(bobPub, 1500, "water")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNote(n1); err != nil {
+		t.Fatal(err)
+	}
+	// Wire round trip.
+	dec, err := DecodeNote(EncodeNote(n1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNote(dec); err != nil {
+		t.Errorf("decoded note fails verify: %v", err)
+	}
+	if dec.AmountCents != 1500 || dec.Memo != "water" || dec.Seq != 1 {
+		t.Errorf("decoded = %+v", dec)
+	}
+
+	l := NewLedger()
+	if err := l.Accept(dec); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent re-delivery.
+	if err := l.Accept(dec); err != nil {
+		t.Errorf("idempotent accept = %v", err)
+	}
+	if l.Size() != 1 {
+		t.Errorf("size = %d", l.Size())
+	}
+	if l.Balance(alice.Pub()) != -1500 || l.Balance(bobPub) != 1500 {
+		t.Errorf("balances = %d, %d", l.Balance(alice.Pub()), l.Balance(bobPub))
+	}
+}
+
+func TestDoubleSpendDetected(t *testing.T) {
+	_, alicePriv := authority(t)
+	bobPub, _ := authority(t)
+	carolPub, _ := authority(t)
+	alice := NewWallet(alicePriv)
+
+	n1, _ := alice.Pay(bobPub, 1000, "bread")
+	// Forge a conflicting note with the same sequence by re-signing.
+	n2 := &Note{Payer: n1.Payer, Payee: carolPub, Seq: n1.Seq, AmountCents: 1000, Memo: "bread"}
+	n2.Sig = ed25519.Sign(alicePriv, noteSigned(n2))
+
+	l := NewLedger()
+	if err := l.Accept(n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Accept(n2); !errors.Is(err, ErrDoubleSpend) {
+		t.Errorf("double spend accepted: %v", err)
+	}
+}
+
+func TestNoteValidation(t *testing.T) {
+	_, alicePriv := authority(t)
+	bobPub, _ := authority(t)
+	alice := NewWallet(alicePriv)
+	if _, err := alice.Pay(bobPub, 0, ""); err == nil {
+		t.Error("zero amount accepted")
+	}
+	long := make([]byte, 300)
+	if _, err := alice.Pay(bobPub, 1, string(long)); err == nil {
+		t.Error("oversized memo accepted")
+	}
+	n, _ := alice.Pay(bobPub, 5, "ok")
+	n.AmountCents = 500 // tamper
+	if err := VerifyNote(n); !errors.Is(err, ErrNoteSignature) {
+		t.Errorf("tampered note verified: %v", err)
+	}
+	bad := &Note{Payer: []byte{1}, Payee: bobPub}
+	if err := VerifyNote(bad); err == nil {
+		t.Error("bad key length verified")
+	}
+	if _, err := DecodeNote(nil); err == nil {
+		t.Error("nil decode should error")
+	}
+	if _, err := DecodeNote([]byte{0, 200, 1}); err == nil {
+		t.Error("truncated decode should error")
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	_, alicePriv := authority(t)
+	bobPub, _ := authority(t)
+	carolPub, _ := authority(t)
+	alice := NewWallet(alicePriv)
+
+	n1, _ := alice.Pay(bobPub, 100, "a")
+	n2, _ := alice.Pay(bobPub, 200, "b")
+	// A conflicting version of n2 paid to carol (double spend across
+	// ledgers).
+	n2evil := &Note{Payer: n2.Payer, Payee: carolPub, Seq: n2.Seq, AmountCents: 200, Memo: "b"}
+	n2evil.Sig = ed25519.Sign(alicePriv, noteSigned(n2evil))
+
+	la, lb := NewLedger(), NewLedger()
+	if err := la.Accept(n1); err != nil {
+		t.Fatal(err)
+	}
+	if err := la.Accept(n2); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Accept(n2evil); err != nil {
+		t.Fatal(err)
+	}
+
+	absorbed, conflicts := lb.Merge(la)
+	if absorbed != 1 { // n1 is new to lb; n2 conflicts
+		t.Errorf("absorbed = %d", absorbed)
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d", conflicts)
+	}
+}
+
+func TestWalletSequencesMonotonic(t *testing.T) {
+	_, priv := authority(t)
+	bobPub, _ := authority(t)
+	w := NewWallet(priv)
+	var last uint64
+	for i := 0; i < 20; i++ {
+		n, err := w.Pay(bobPub, 1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Seq <= last {
+			t.Fatalf("sequence not monotonic: %d after %d", n.Seq, last)
+		}
+		last = n.Seq
+	}
+}
+
+func TestPollSignVerifyRoundTrip(t *testing.T) {
+	id, err := postbox.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SignPoll(id, 7, 42)
+	if err := VerifyPoll(p, id.Address()); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong postbox address: self-certification fails.
+	other, _ := postbox.NewIdentity(rand.Reader)
+	if err := VerifyPoll(p, other.Address()); err == nil {
+		t.Error("poll verified against someone else's postbox")
+	}
+	// Tampered fields invalidate the signature.
+	p2 := SignPoll(id, 7, 42)
+	p2.AfterSeq = 99
+	if err := VerifyPoll(p2, id.Address()); err == nil {
+		t.Error("tampered poll verified")
+	}
+	// Encode round trip.
+	dec, err := DecodePoll(EncodePoll(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPoll(dec, id.Address()); err != nil {
+		t.Errorf("decoded poll fails verify: %v", err)
+	}
+	if dec.AfterSeq != 7 || dec.Building != 42 {
+		t.Errorf("decoded = %+v", dec)
+	}
+	if _, err := DecodePoll([]byte("short")); err == nil {
+		t.Error("short poll decoded")
+	}
+}
+
+func TestReplyEncodingRoundTrip(t *testing.T) {
+	msgs := []postbox.StoredMessage{
+		{Seq: 3, Sealed: []byte("aaa")},
+		{Seq: 9, Sealed: []byte("bbbbbb")},
+	}
+	enc := encodeReply(msgs)
+	dec, err := DecodeReply(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 || dec[0].Seq != 3 || string(dec[1].Sealed) != "bbbbbb" {
+		t.Errorf("decoded = %+v", dec)
+	}
+	if _, err := DecodeReply(nil); err == nil {
+		t.Error("nil reply decoded")
+	}
+	if _, err := DecodeReply(enc[:5]); err == nil {
+		t.Error("truncated reply decoded")
+	}
+	if got, err := DecodeReply(encodeReply(nil)); err != nil || len(got) != 0 {
+		t.Errorf("empty reply = %v, %v", got, err)
+	}
+}
+
+func TestRetrieveOverMesh(t *testing.T) {
+	n := appsNetwork(t, 203)
+	bob, err := postbox.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := postbox.NewIdentity(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a device/postbox pair where both directions deliver.
+	var deviceB, postboxB int
+	found := false
+	for _, p := range n.RandomPairs(5, 300) {
+		if !n.Reachable(p[0], p[1]) {
+			continue
+		}
+		r1, err1 := n.Send(p[0], p[1], nil, sim.DefaultConfig())
+		r2, err2 := n.Send(p[1], p[0], nil, sim.DefaultConfig())
+		if err1 == nil && err2 == nil && r1.Sim.Delivered && r2.Sim.Delivered {
+			deviceB, postboxB = p[0], p[1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no bidirectional pair")
+	}
+
+	// Alice leaves two sealed messages in Bob's postbox store.
+	store := postbox.NewStore()
+	for _, text := range []string{"first", "second"} {
+		sealed, err := postbox.Seal(rand.Reader, alice, bob.Public(), []byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		store.Put(bob.Address(), sealed, false)
+	}
+
+	res, err := Retrieve(n, store, bob, deviceB, postboxB, 0, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.PollDelivered || !res.ReplyDelivered {
+		t.Fatalf("round trip failed: %+v", res)
+	}
+	if len(res.Messages) != 2 {
+		t.Fatalf("messages = %d", len(res.Messages))
+	}
+	// Bob can open what came back.
+	for i, m := range res.Messages {
+		plain, sender, err := postbox.Open(bob, m.Sealed)
+		if err != nil {
+			t.Fatalf("open %d: %v", i, err)
+		}
+		if sender.Address() != alice.Address() {
+			t.Error("sender mismatch")
+		}
+		if len(plain) == 0 {
+			t.Error("empty plaintext")
+		}
+	}
+	// The store cached Bob's current building for push.
+	if b, ok := store.LastSeen(bob.Address()); !ok || b != deviceB {
+		t.Errorf("LastSeen = %d, %v", b, ok)
+	}
+	// Incremental retrieval from the last seq returns nothing new.
+	res2, err := Retrieve(n, store, bob, deviceB, postboxB, res.Messages[1].Seq, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PollDelivered && res2.ReplyDelivered && len(res2.Messages) != 0 {
+		t.Errorf("incremental retrieve returned %d messages", len(res2.Messages))
+	}
+}

@@ -1,0 +1,218 @@
+package apps
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The payments substrate implements the paper's §2 banking use case
+// ("obtain access to essentials and to access a banking application for
+// money") without cloud connectivity: payers sign transfer notes against a
+// per-payer monotonic sequence number, payees verify signatures offline
+// with the payer's self-certifying identity, and any node can maintain a
+// Ledger that detects double spends (two distinct notes with the same payer
+// and sequence). Final settlement reconciles when connectivity returns —
+// the DFN's job is to keep commerce moving meanwhile.
+
+// Note is one signed offline payment.
+type Note struct {
+	// Payer and Payee are the parties' Ed25519 public keys.
+	Payer, Payee ed25519.PublicKey
+	// Seq is the payer's monotonic note counter; reuse is a double spend.
+	Seq uint64
+	// AmountCents is the transferred amount.
+	AmountCents uint64
+	// Memo is a short free-text field.
+	Memo string
+	// Sig is the payer's signature over the preceding fields.
+	Sig []byte
+}
+
+// Wallet issues signed notes for one payer.
+type Wallet struct {
+	mu   sync.Mutex
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+	seq  uint64
+}
+
+// NewWallet wraps a payer key pair.
+func NewWallet(priv ed25519.PrivateKey) *Wallet {
+	return &Wallet{priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// Pub returns the wallet's public key.
+func (w *Wallet) Pub() ed25519.PublicKey { return w.pub }
+
+// Pay issues a signed note to payee.
+func (w *Wallet) Pay(payee ed25519.PublicKey, amountCents uint64, memo string) (*Note, error) {
+	if amountCents == 0 {
+		return nil, errors.New("apps: zero amount")
+	}
+	if len(memo) > 255 {
+		return nil, errors.New("apps: memo too long")
+	}
+	w.mu.Lock()
+	w.seq++
+	n := &Note{
+		Payer:       w.pub,
+		Payee:       append(ed25519.PublicKey(nil), payee...),
+		Seq:         w.seq,
+		AmountCents: amountCents,
+		Memo:        memo,
+	}
+	w.mu.Unlock()
+	n.Sig = ed25519.Sign(w.priv, noteSigned(n))
+	return n, nil
+}
+
+func noteSigned(n *Note) []byte {
+	buf := make([]byte, 0, 64+16+len(n.Memo))
+	buf = append(buf, n.Payer...)
+	buf = append(buf, n.Payee...)
+	buf = binary.BigEndian.AppendUint64(buf, n.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, n.AmountCents)
+	buf = append(buf, n.Memo...)
+	return buf
+}
+
+// ErrNoteSignature is returned when a note's signature fails.
+var ErrNoteSignature = errors.New("apps: note signature invalid")
+
+// ErrDoubleSpend is returned when the same (payer, seq) appears with
+// different content.
+var ErrDoubleSpend = errors.New("apps: double spend detected")
+
+// VerifyNote checks a note's signature.
+func VerifyNote(n *Note) error {
+	if len(n.Payer) != ed25519.PublicKeySize || len(n.Payee) != ed25519.PublicKeySize {
+		return fmt.Errorf("apps: bad key lengths")
+	}
+	if !ed25519.Verify(n.Payer, noteSigned(n), n.Sig) {
+		return ErrNoteSignature
+	}
+	return nil
+}
+
+// EncodeNote serializes a note for transport.
+func EncodeNote(n *Note) []byte {
+	body := noteSigned(n)
+	out := make([]byte, 0, 2+len(body)+len(n.Sig))
+	out = binary.BigEndian.AppendUint16(out, uint16(len(body)))
+	out = append(out, body...)
+	out = append(out, n.Sig...)
+	return out
+}
+
+// DecodeNote parses EncodeNote output.
+func DecodeNote(b []byte) (*Note, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("apps: note too short")
+	}
+	bl := int(binary.BigEndian.Uint16(b))
+	if bl < 80 || len(b) < 2+bl+ed25519.SignatureSize {
+		return nil, fmt.Errorf("apps: note truncated")
+	}
+	body := b[2 : 2+bl]
+	n := &Note{
+		Payer:       append(ed25519.PublicKey(nil), body[:32]...),
+		Payee:       append(ed25519.PublicKey(nil), body[32:64]...),
+		Seq:         binary.BigEndian.Uint64(body[64:]),
+		AmountCents: binary.BigEndian.Uint64(body[72:]),
+		Memo:        string(body[80:]),
+		Sig:         append([]byte(nil), b[2+bl:2+bl+ed25519.SignatureSize]...),
+	}
+	return n, nil
+}
+
+// Ledger records accepted notes and detects double spends. Any node — a
+// merchant device, a postbox AP — can run one; reconciliation across
+// ledgers happens at settlement.
+type Ledger struct {
+	mu sync.Mutex
+	// notes indexes by payer key + seq.
+	notes map[string]*Note
+	// balances tracks net flows observed by this ledger (may go negative:
+	// the ledger sees only a slice of the economy).
+	balances map[string]int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{notes: make(map[string]*Note), balances: make(map[string]int64)}
+}
+
+func noteKey(payer ed25519.PublicKey, seq uint64) string {
+	k := make([]byte, 0, 40)
+	k = append(k, payer...)
+	k = binary.BigEndian.AppendUint64(k, seq)
+	return string(k)
+}
+
+// Accept verifies and records a note. Re-presenting the identical note is
+// idempotent; a conflicting note with the same (payer, seq) returns
+// ErrDoubleSpend.
+func (l *Ledger) Accept(n *Note) error {
+	if err := VerifyNote(n); err != nil {
+		return err
+	}
+	key := noteKey(n.Payer, n.Seq)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.notes[key]; ok {
+		if sameNote(prev, n) {
+			return nil // idempotent re-delivery
+		}
+		return ErrDoubleSpend
+	}
+	l.notes[key] = n
+	l.balances[string(n.Payer)] -= int64(n.AmountCents)
+	l.balances[string(n.Payee)] += int64(n.AmountCents)
+	return nil
+}
+
+func sameNote(a, b *Note) bool {
+	return a.Seq == b.Seq && a.AmountCents == b.AmountCents && a.Memo == b.Memo &&
+		string(a.Payee) == string(b.Payee) && string(a.Payer) == string(b.Payer)
+}
+
+// Balance returns the net observed flow for a key (negative = net payer).
+func (l *Ledger) Balance(pub ed25519.PublicKey) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[string(pub)]
+}
+
+// Size returns the number of recorded notes.
+func (l *Ledger) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.notes)
+}
+
+// Merge folds another ledger's notes into this one, returning how many new
+// notes were absorbed and how many double spends were discovered — the
+// settlement-time reconciliation step.
+func (l *Ledger) Merge(other *Ledger) (absorbed, conflicts int) {
+	other.mu.Lock()
+	notes := make([]*Note, 0, len(other.notes))
+	for _, n := range other.notes {
+		notes = append(notes, n)
+	}
+	other.mu.Unlock()
+	for _, n := range notes {
+		before := l.Size()
+		switch err := l.Accept(n); err {
+		case nil:
+			if l.Size() > before {
+				absorbed++
+			}
+		case ErrDoubleSpend:
+			conflicts++
+		}
+	}
+	return absorbed, conflicts
+}

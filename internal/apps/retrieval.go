@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"citymesh/internal/core"
+	"citymesh/internal/postbox"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+)
+
+// Retrieval implements §3 step 4 as an over-the-mesh protocol: Bob's device
+// — possibly far from his postbox building during the outage — sends a
+// signed POLL packet along a conduit to his postbox; the postbox AP answers
+// with the stored sealed messages along the reverse conduit, and caches
+// Bob's current building for future push notifications.
+//
+// The poll is authenticated: it carries Bob's public identity plus a
+// signature over (postbox address | afterSeq | current building), so a
+// compromised AP cannot drain someone else's postbox by spoofing polls —
+// it could at most replay an old poll, which re-sends messages the owner
+// already asked for (sealed to the owner, so confidentiality holds).
+
+// Poll is a postbox retrieval request.
+type Poll struct {
+	// Owner is the requesting identity (must hash to the postbox address).
+	Owner postbox.PublicIdentity
+	// AfterSeq requests messages with store sequence numbers beyond this.
+	AfterSeq uint64
+	// Building is the device's current building (cached for push).
+	Building int
+	// Sig is the owner's Ed25519 signature.
+	Sig []byte
+}
+
+// SignPoll builds and signs a poll with the owner's identity.
+func SignPoll(id *postbox.Identity, afterSeq uint64, building int) *Poll {
+	p := &Poll{Owner: id.Public(), AfterSeq: afterSeq, Building: building}
+	p.Sig = id.Sign(pollSigned(p))
+	return p
+}
+
+func pollSigned(p *Poll) []byte {
+	addr := p.Owner.Address()
+	buf := make([]byte, 0, len(addr)+16)
+	buf = append(buf, addr[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, p.AfterSeq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(p.Building)))
+	return buf
+}
+
+// VerifyPoll checks the poll signature and self-certification against the
+// postbox address it claims to drain.
+func VerifyPoll(p *Poll, claimed postbox.Address) error {
+	if !p.Owner.Verify(claimed) {
+		return fmt.Errorf("apps: poll identity does not certify postbox address")
+	}
+	if !p.Owner.VerifySig(pollSigned(p), p.Sig) {
+		return fmt.Errorf("apps: poll signature invalid")
+	}
+	return nil
+}
+
+// EncodePoll serializes a poll for a packet payload.
+func EncodePoll(p *Poll) []byte {
+	id := p.Owner.Encode()
+	out := make([]byte, 0, len(id)+16+len(p.Sig))
+	out = append(out, id...)
+	out = binary.BigEndian.AppendUint64(out, p.AfterSeq)
+	out = binary.BigEndian.AppendUint64(out, uint64(int64(p.Building)))
+	out = append(out, p.Sig...)
+	return out
+}
+
+// DecodePoll parses EncodePoll output.
+func DecodePoll(b []byte) (*Poll, error) {
+	if len(b) < 64+16+64 {
+		return nil, fmt.Errorf("apps: poll too short")
+	}
+	id, err := postbox.DecodePublicIdentity(b[:64])
+	if err != nil {
+		return nil, err
+	}
+	return &Poll{
+		Owner:    id,
+		AfterSeq: binary.BigEndian.Uint64(b[64:]),
+		Building: int(int64(binary.BigEndian.Uint64(b[72:]))),
+		Sig:      append([]byte(nil), b[80:80+64]...),
+	}, nil
+}
+
+// RetrievalResult is the outcome of an over-the-mesh retrieval round trip.
+type RetrievalResult struct {
+	// PollDelivered and ReplyDelivered report the two conduit traversals.
+	PollDelivered, ReplyDelivered bool
+	// Messages are the sealed messages returned to the device.
+	Messages []postbox.StoredMessage
+	// Broadcasts is the combined transmission count of both directions.
+	Broadcasts int
+}
+
+// Retrieve runs the full §3 step 4 round trip through the simulator:
+// device (at deviceBuilding) -> postbox (at postboxBuilding), then the
+// reply back. The store is the postbox building's message store.
+func Retrieve(n *core.Network, store *postbox.Store, id *postbox.Identity,
+	deviceBuilding, postboxBuilding int, afterSeq uint64, simCfg sim.Config) (RetrievalResult, error) {
+
+	var out RetrievalResult
+	poll := SignPoll(id, afterSeq, deviceBuilding)
+	addr := id.Address()
+
+	// Leg 1: the poll rides a conduit to the postbox building.
+	route, err := n.PlanRoute(deviceBuilding, postboxBuilding)
+	if err != nil {
+		return out, fmt.Errorf("apps: poll route: %w", err)
+	}
+	pkt, err := n.NewPacket(route, EncodePoll(poll))
+	if err != nil {
+		return out, err
+	}
+	res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+	out.Broadcasts += res.Broadcasts
+	out.PollDelivered = res.Delivered
+	if !res.Delivered {
+		return out, nil
+	}
+
+	// The postbox AP verifies the poll before draining the box.
+	if err := VerifyPoll(poll, addr); err != nil {
+		return out, err
+	}
+	msgs := store.Retrieve(addr, poll.AfterSeq, poll.Building)
+
+	// Leg 2: the reply rides the reverse conduit to the device's building.
+	back, err := n.PlanRoute(postboxBuilding, deviceBuilding)
+	if err != nil {
+		return out, fmt.Errorf("apps: reply route: %w", err)
+	}
+	payload := encodeReply(msgs)
+	rpkt, err := n.NewPacket(back, payload)
+	if err != nil {
+		return out, err
+	}
+	rres := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), rpkt, simCfg)
+	out.Broadcasts += rres.Broadcasts
+	out.ReplyDelivered = rres.Delivered
+	if rres.Delivered {
+		out.Messages = msgs
+	}
+	return out, nil
+}
+
+// encodeReply frames the message batch (length-prefixed sealed blobs).
+func encodeReply(msgs []postbox.StoredMessage) []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint16(out, uint16(len(msgs)))
+	for _, m := range msgs {
+		out = binary.BigEndian.AppendUint64(out, m.Seq)
+		out = binary.BigEndian.AppendUint32(out, uint32(len(m.Sealed)))
+		out = append(out, m.Sealed...)
+	}
+	return out
+}
+
+// DecodeReply parses encodeReply output into (seq, sealed) pairs.
+func DecodeReply(b []byte) ([]postbox.StoredMessage, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("apps: reply too short")
+	}
+	count := int(binary.BigEndian.Uint16(b))
+	off := 2
+	out := make([]postbox.StoredMessage, 0, count)
+	for i := 0; i < count; i++ {
+		if len(b) < off+12 {
+			return nil, fmt.Errorf("apps: reply truncated at message %d", i)
+		}
+		seq := binary.BigEndian.Uint64(b[off:])
+		l := int(binary.BigEndian.Uint32(b[off+8:]))
+		off += 12
+		if len(b) < off+l {
+			return nil, fmt.Errorf("apps: reply body truncated at message %d", i)
+		}
+		out = append(out, postbox.StoredMessage{Seq: seq, Sealed: append([]byte(nil), b[off:off+l]...)})
+		off += l
+	}
+	return out, nil
+}

@@ -1,0 +1,345 @@
+// Package citygen synthesizes city maps for the CityMesh evaluation.
+//
+// The paper evaluates on real OpenStreetMap extracts of several US cities.
+// This module is offline, so citygen generates parametric synthetic cities —
+// street grids with downtown towers, residential lots, campus quads, rivers,
+// parks and highway corridors — and emits them either directly as planar
+// features or as OSM XML documents, which exercises the same
+// osm.Parse → osm.ExtractCity pipeline a real extract would.
+//
+// Generation is fully deterministic given a Spec (including its Seed).
+package citygen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"citymesh/internal/geo"
+)
+
+// District labels the land use of a city block.
+type District int
+
+const (
+	// Downtown blocks hold a few large commercial buildings.
+	Downtown District = iota
+	// Residential blocks hold many small houses along the block perimeter.
+	Residential
+	// Campus blocks hold mid-size buildings separated by quads.
+	Campus
+	// Empty blocks hold no buildings (outskirts).
+	Empty
+)
+
+// String implements fmt.Stringer.
+func (d District) String() string {
+	switch d {
+	case Downtown:
+		return "downtown"
+	case Residential:
+		return "residential"
+	case Campus:
+		return "campus"
+	default:
+		return "empty"
+	}
+}
+
+// RiverSpec is a straight river band across the city.
+type RiverSpec struct {
+	Start, End geo.Point
+	Width      float64
+}
+
+// RectSpec is an axis-aligned region used for parks and highway corridors.
+type RectSpec struct {
+	Rect geo.Rect
+}
+
+// Spec parameterizes a synthetic city.
+type Spec struct {
+	Name   string
+	Seed   int64
+	Origin geo.LatLon // geographic anchor for OSM output
+
+	// Extent of the city in meters.
+	Width, Height float64
+
+	// Street grid: block dimensions and street width.
+	BlockW, BlockH, StreetW float64
+
+	// DowntownRect bounds the downtown district; blocks whose centers fall
+	// inside are Downtown. CampusRect likewise for Campus. Everything else
+	// is Residential.
+	DowntownRect geo.Rect
+	CampusRect   geo.Rect
+
+	// Coverage scales how full blocks are, per district (0..1].
+	DowntownCoverage    float64
+	ResidentialCoverage float64
+	CampusCoverage      float64
+
+	Rivers   []RiverSpec
+	Parks    []RectSpec
+	Highways []RectSpec
+}
+
+// Validate checks spec consistency.
+func (s *Spec) Validate() error {
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("citygen: extent %gx%g must be positive", s.Width, s.Height)
+	}
+	if s.BlockW <= 0 || s.BlockH <= 0 {
+		return fmt.Errorf("citygen: block %gx%g must be positive", s.BlockW, s.BlockH)
+	}
+	if s.StreetW < 0 || s.StreetW >= math.Min(s.BlockW, s.BlockH) {
+		return fmt.Errorf("citygen: street width %g must be in [0, min block dim)", s.StreetW)
+	}
+	return nil
+}
+
+// Building is one generated building footprint.
+type Building struct {
+	Footprint geo.Polygon
+	District  District
+	Levels    int
+}
+
+// Plan is a generated city: planar features ready to convert to an OSM
+// document or consume directly.
+type Plan struct {
+	Spec      Spec
+	Buildings []Building
+	Water     []geo.Polygon
+	Parks     []geo.Polygon
+	Highways  []geo.Polygon
+	Bounds    geo.Rect
+}
+
+// Generate builds the city plan. The same Spec always produces the same
+// plan.
+func Generate(spec Spec) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := &Plan{
+		Spec:   spec,
+		Bounds: geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(spec.Width, spec.Height)},
+	}
+
+	for _, r := range spec.Rivers {
+		p.Water = append(p.Water, riverPolygon(r))
+	}
+	for _, pk := range spec.Parks {
+		p.Parks = append(p.Parks, geo.RectPolygon(pk.Rect))
+	}
+	for _, hw := range spec.Highways {
+		p.Highways = append(p.Highways, geo.RectPolygon(hw.Rect))
+	}
+
+	nx := int(spec.Width / spec.BlockW)
+	ny := int(spec.Height / spec.BlockH)
+	for bx := 0; bx < nx; bx++ {
+		for by := 0; by < ny; by++ {
+			block := geo.Rect{
+				Min: geo.Pt(float64(bx)*spec.BlockW+spec.StreetW/2, float64(by)*spec.BlockH+spec.StreetW/2),
+				Max: geo.Pt(float64(bx+1)*spec.BlockW-spec.StreetW/2, float64(by+1)*spec.BlockH-spec.StreetW/2),
+			}
+			d := spec.districtAt(block.Center())
+			if d == Empty {
+				continue
+			}
+			p.fillBlock(rng, block, d)
+		}
+	}
+	return p, nil
+}
+
+// districtAt returns the district for a block centered at c.
+func (s *Spec) districtAt(c geo.Point) District {
+	switch {
+	case s.DowntownRect.Contains(c):
+		return Downtown
+	case s.CampusRect.Contains(c):
+		return Campus
+	default:
+		return Residential
+	}
+}
+
+// blocked reports whether a candidate footprint overlaps any gap feature
+// (water, park, highway); such footprints are suppressed.
+func (p *Plan) blocked(fp geo.Rect) bool {
+	pgs := [][]geo.Polygon{p.Water, p.Parks, p.Highways}
+	for _, group := range pgs {
+		for _, gap := range group {
+			if !gap.Bounds().Overlaps(fp) {
+				continue
+			}
+			c := fp.Center()
+			if gap.Contains(c) {
+				return true
+			}
+			// Any footprint corner inside the gap also blocks.
+			for _, corner := range fp.Corners() {
+				if gap.Contains(corner) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// fillBlock places buildings inside a block according to its district.
+func (p *Plan) fillBlock(rng *rand.Rand, block geo.Rect, d District) {
+	switch d {
+	case Downtown:
+		p.fillDowntown(rng, block)
+	case Residential:
+		p.fillResidential(rng, block)
+	case Campus:
+		p.fillCampus(rng, block)
+	}
+}
+
+func (p *Plan) fillDowntown(rng *rand.Rand, block geo.Rect) {
+	cov := p.Spec.DowntownCoverage
+	// 1, 2 or 4 towers filling most of the block.
+	n := 1 + rng.Intn(3)
+	if n == 3 {
+		n = 4
+	}
+	cells := splitRect(block, n)
+	for _, cell := range cells {
+		if rng.Float64() > cov {
+			continue
+		}
+		inset := 2 + rng.Float64()*6
+		fp := shrink(cell, inset)
+		if fp.Width() < 10 || fp.Height() < 10 || p.blocked(fp) {
+			continue
+		}
+		p.Buildings = append(p.Buildings, Building{
+			Footprint: jitteredRect(rng, fp, 1.0),
+			District:  Downtown,
+			Levels:    8 + rng.Intn(32),
+		})
+	}
+}
+
+func (p *Plan) fillResidential(rng *rand.Rand, block geo.Rect) {
+	cov := p.Spec.ResidentialCoverage
+	// Two facing rows of row houses: adjacent houses share walls (0-2 m
+	// gaps) with coverage-controlled breaks, matching the contiguous
+	// building fabric of the dense urban neighborhoods the paper surveys.
+	for _, row := range [2]struct{ y0, y1 float64 }{
+		{block.Min.Y + 2, block.Min.Y + block.Height()/2 - 4},
+		{block.Min.Y + block.Height()/2 + 4, block.Max.Y - 2},
+	} {
+		x := block.Min.X + 2
+		for {
+			hw := 9 + rng.Float64()*6  // house width
+			hh := 10 + rng.Float64()*5 // house depth
+			if x+hw > block.Max.X-2 {
+				break
+			}
+			if rng.Float64() <= cov {
+				depth := math.Min(hh, row.y1-row.y0)
+				setback := rng.Float64() * math.Max(0, row.y1-row.y0-depth)
+				fp := geo.Rect{
+					Min: geo.Pt(x, row.y0+setback),
+					Max: geo.Pt(x+hw, row.y0+setback+depth),
+				}
+				if !p.blocked(fp) {
+					p.Buildings = append(p.Buildings, Building{
+						Footprint: jitteredRect(rng, fp, 0.3),
+						District:  Residential,
+						Levels:    1 + rng.Intn(3),
+					})
+				}
+				x += hw + rng.Float64()*2 // shared wall or narrow alley
+			} else {
+				x += hw + 4 + rng.Float64()*8 // vacant lot / driveway break
+			}
+		}
+	}
+}
+
+func (p *Plan) fillCampus(rng *rand.Rand, block geo.Rect) {
+	cov := p.Spec.CampusCoverage
+	// A few large halls with quads between them; halls are big enough that
+	// their AP complements bridge the quad gaps, as on a real campus.
+	cells := splitRect(block, 4)
+	for _, cell := range cells {
+		if rng.Float64() > cov {
+			continue
+		}
+		w := 26 + rng.Float64()*16
+		h := 20 + rng.Float64()*14
+		cx := cell.Min.X + rng.Float64()*math.Max(1, cell.Width()-w)
+		cy := cell.Min.Y + rng.Float64()*math.Max(1, cell.Height()-h)
+		fp := geo.Rect{Min: geo.Pt(cx, cy), Max: geo.Pt(cx+w, cy+h)}
+		if fp.Max.X > cell.Max.X || fp.Max.Y > cell.Max.Y || p.blocked(fp) {
+			continue
+		}
+		p.Buildings = append(p.Buildings, Building{
+			Footprint: jitteredRect(rng, fp, 0.8),
+			District:  Campus,
+			Levels:    2 + rng.Intn(6),
+		})
+	}
+}
+
+// splitRect divides r into n near-equal cells (n must be 1, 2 or 4).
+func splitRect(r geo.Rect, n int) []geo.Rect {
+	switch n {
+	case 1:
+		return []geo.Rect{r}
+	case 2:
+		c := r.Center()
+		if r.Width() >= r.Height() {
+			return []geo.Rect{
+				{Min: r.Min, Max: geo.Pt(c.X, r.Max.Y)},
+				{Min: geo.Pt(c.X, r.Min.Y), Max: r.Max},
+			}
+		}
+		return []geo.Rect{
+			{Min: r.Min, Max: geo.Pt(r.Max.X, c.Y)},
+			{Min: geo.Pt(r.Min.X, c.Y), Max: r.Max},
+		}
+	default:
+		c := r.Center()
+		return []geo.Rect{
+			{Min: r.Min, Max: c},
+			{Min: geo.Pt(c.X, r.Min.Y), Max: geo.Pt(r.Max.X, c.Y)},
+			{Min: geo.Pt(r.Min.X, c.Y), Max: geo.Pt(c.X, r.Max.Y)},
+			{Min: c, Max: r.Max},
+		}
+	}
+}
+
+func shrink(r geo.Rect, d float64) geo.Rect { return r.Pad(-d) }
+
+// jitteredRect converts a rect footprint to a polygon with small vertex
+// jitter so synthetic buildings are not perfectly axis-aligned.
+func jitteredRect(rng *rand.Rand, r geo.Rect, j float64) geo.Polygon {
+	c := r.Corners()
+	pg := make(geo.Polygon, 4)
+	for i, p := range c {
+		pg[i] = geo.Pt(p.X+(rng.Float64()*2-1)*j, p.Y+(rng.Float64()*2-1)*j)
+	}
+	return pg
+}
+
+// riverPolygon converts a river spec into a band polygon.
+func riverPolygon(r RiverSpec) geo.Polygon {
+	axis := r.End.Sub(r.Start).Unit()
+	off := axis.Perp().Scale(r.Width / 2)
+	// Extend the band beyond both endpoints so it fully crosses the extent.
+	a := r.Start.Sub(axis.Scale(r.Width))
+	b := r.End.Add(axis.Scale(r.Width))
+	return geo.Polygon{a.Add(off), b.Add(off), b.Sub(off), a.Sub(off)}
+}

@@ -1,0 +1,100 @@
+package citygen
+
+import (
+	"citymesh/internal/geo"
+	"citymesh/internal/osm"
+)
+
+// Document converts the plan into an OSM document anchored at the spec's
+// Origin, suitable for osm.Write and for feeding back through osm.Parse /
+// osm.ExtractCity — the exact pipeline a real map extract takes.
+func (p *Plan) Document() *osm.Document {
+	doc := osm.NewDocument()
+	proj := geo.NewProjection(p.Spec.Origin)
+
+	// Set bounds so the re-imported document re-centers at the same origin.
+	min := proj.ToLatLon(p.Bounds.Min)
+	max := proj.ToLatLon(p.Bounds.Max)
+	doc.MinLat, doc.MinLon, doc.MaxLat, doc.MaxLon = min.Lat, min.Lon, max.Lat, max.Lon
+	doc.HasBounds = true
+
+	nextNode := osm.ID(1)
+	nextWay := osm.ID(1)
+
+	addPolygon := func(pg geo.Polygon, tags osm.Tags) {
+		refs := make([]osm.ID, 0, len(pg)+1)
+		for _, pt := range pg {
+			doc.AddNode(&osm.Node{ID: nextNode, Pos: proj.ToLatLon(pt)})
+			refs = append(refs, nextNode)
+			nextNode++
+		}
+		refs = append(refs, refs[0]) // close the ring
+		doc.AddWay(&osm.Way{ID: nextWay, Refs: refs, Tags: tags})
+		nextWay++
+	}
+
+	for _, b := range p.Buildings {
+		tags := osm.Tags{"building": "yes"}
+		if b.Levels > 0 {
+			tags["building:levels"] = itoa(b.Levels)
+		}
+		addPolygon(b.Footprint, tags)
+	}
+	for _, w := range p.Water {
+		addPolygon(w, osm.Tags{"natural": "water"})
+	}
+	for _, pk := range p.Parks {
+		addPolygon(pk, osm.Tags{"leisure": "park"})
+	}
+	for _, hw := range p.Highways {
+		addPolygon(hw, osm.Tags{"highway": "motorway", "area:highway": "motorway"})
+	}
+	return doc
+}
+
+// City converts the plan to a planar osm.City through the full OSM pipeline
+// (document build + feature extraction), then re-centers coordinates to the
+// plan's own frame so downstream geometry matches the spec rectangles.
+func (p *Plan) City() *osm.City {
+	city := osm.ExtractCity(p.Spec.Name, p.Document(), 20)
+	// ExtractCity centers its projection on the document bounds center;
+	// shift everything back into the plan's [0,W]x[0,H] frame.
+	offset := p.Bounds.Center()
+	shift := func(f *osm.Feature) {
+		for i := range f.Footprint {
+			f.Footprint[i] = f.Footprint[i].Add(offset)
+		}
+		f.Centroid = f.Centroid.Add(offset)
+	}
+	for _, f := range city.Buildings {
+		shift(f)
+	}
+	for _, f := range city.Water {
+		shift(f)
+	}
+	for _, f := range city.Parks {
+		shift(f)
+	}
+	for _, f := range city.Highways {
+		shift(f)
+	}
+	city.Bounds = geo.Rect{
+		Min: city.Bounds.Min.Add(offset),
+		Max: city.Bounds.Max.Add(offset),
+	}
+	return city
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,129 @@
+package citygen
+
+import (
+	"sort"
+
+	"citymesh/internal/geo"
+)
+
+// Preset returns the Spec for a named synthetic city and whether the name is
+// known. The presets mirror the qualitative structure of the cities the
+// paper surveys: dense grid downtowns, residential rings, a campus, rivers
+// that do or do not fracture the city, parks and highways.
+func Preset(name string) (Spec, bool) {
+	s, ok := presets()[name]
+	return s, ok
+}
+
+// PresetNames returns all preset names in sorted order.
+func PresetNames() []string {
+	m := presets()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func presets() map[string]Spec {
+	base := func(name string, seed int64, w, h float64) Spec {
+		return Spec{
+			Name:                name,
+			Seed:                seed,
+			Origin:              geo.LatLon{Lat: 42.36, Lon: -71.06},
+			Width:               w,
+			Height:              h,
+			BlockW:              100,
+			BlockH:              90,
+			StreetW:             14,
+			DowntownCoverage:    0.9,
+			ResidentialCoverage: 0.78,
+			CampusCoverage:      0.6,
+		}
+	}
+
+	m := make(map[string]Spec)
+
+	// gridtown: a pure, gap-free grid — the idealized best case.
+	g := base("gridtown", 101, 2000, 2000)
+	g.ResidentialCoverage = 0.85
+	g.DowntownRect = geo.Rect{Min: geo.Pt(600, 600), Max: geo.Pt(1400, 1400)}
+	m["gridtown"] = g
+
+	// boston: downtown core, campus, river along the northern edge. The
+	// river borders rather than splits the buildable area, so the city stays
+	// mostly connected.
+	b := base("boston", 102, 3000, 2400)
+	b.DowntownRect = geo.Rect{Min: geo.Pt(1700, 300), Max: geo.Pt(2800, 1300)}
+	b.CampusRect = geo.Rect{Min: geo.Pt(300, 300), Max: geo.Pt(1100, 1000)}
+	b.Rivers = []RiverSpec{{Start: geo.Pt(0, 2100), End: geo.Pt(3000, 1900), Width: 260}}
+	b.Parks = []RectSpec{{Rect: geo.Rect{Min: geo.Pt(1250, 500), Max: geo.Pt(1580, 1000)}}}
+	m["boston"] = b
+
+	// cambridge: campus-heavy with small parks; dense and well connected.
+	c := base("cambridge", 103, 2400, 2000)
+	c.CampusRect = geo.Rect{Min: geo.Pt(700, 500), Max: geo.Pt(1700, 1400)}
+	c.Parks = []RectSpec{
+		{Rect: geo.Rect{Min: geo.Pt(200, 1500), Max: geo.Pt(550, 1800)}},
+		{Rect: geo.Rect{Min: geo.Pt(1900, 200), Max: geo.Pt(2200, 500)}},
+	}
+	m["cambridge"] = c
+
+	// dc: a wide river plus a long mall-like park crossing the middle —
+	// the city fractures into islands of connectivity (§4's Washington
+	// D.C. observation).
+	d := base("dc", 104, 3200, 2600)
+	d.DowntownRect = geo.Rect{Min: geo.Pt(1900, 1500), Max: geo.Pt(2900, 2300)}
+	d.Rivers = []RiverSpec{{Start: geo.Pt(0, 500), End: geo.Pt(3200, 1250), Width: 420}}
+	d.Parks = []RectSpec{{Rect: geo.Rect{Min: geo.Pt(600, 1600), Max: geo.Pt(1750, 1950)}}}
+	m["dc"] = d
+
+	// chicago: very dense tall downtown against a lakefront (eastern band
+	// of water); the rest a regular residential grid.
+	ch := base("chicago", 105, 3000, 2600)
+	ch.BlockW, ch.BlockH = 90, 80
+	ch.DowntownRect = geo.Rect{Min: geo.Pt(1800, 800), Max: geo.Pt(2600, 2000)}
+	ch.Rivers = []RiverSpec{{Start: geo.Pt(2850, 0), End: geo.Pt(2850, 2600), Width: 300}}
+	m["chicago"] = ch
+
+	// sanfrancisco: long park band (Golden Gate Park) and a highway
+	// corridor; moderate density.
+	sf := base("sanfrancisco", 106, 3000, 2400)
+	sf.DowntownRect = geo.Rect{Min: geo.Pt(2100, 1500), Max: geo.Pt(2900, 2200)}
+	sf.ResidentialCoverage = 0.75
+	sf.Parks = []RectSpec{{Rect: geo.Rect{Min: geo.Pt(200, 900), Max: geo.Pt(1700, 1250)}}}
+	sf.Highways = []RectSpec{{Rect: geo.Rect{Min: geo.Pt(1900, 0), Max: geo.Pt(1980, 2400)}}}
+	m["sanfrancisco"] = sf
+
+	// austin: sparser residential sprawl with a narrow river through the
+	// middle; lower coverage stresses the density assumption.
+	a := base("austin", 107, 3200, 2600)
+	a.BlockW, a.BlockH = 120, 110
+	a.ResidentialCoverage = 0.62
+	a.DowntownRect = geo.Rect{Min: geo.Pt(1300, 1400), Max: geo.Pt(2000, 2000)}
+	a.Rivers = []RiverSpec{{Start: geo.Pt(0, 1150), End: geo.Pt(3200, 1000), Width: 150}}
+	m["austin"] = a
+
+	return m
+}
+
+// SmallTestSpec returns a tiny city used throughout the test suites: fast
+// to generate yet structurally complete (downtown, residential, one park).
+func SmallTestSpec(seed int64) Spec {
+	s := Spec{
+		Name:                "smalltown",
+		Seed:                seed,
+		Origin:              geo.LatLon{Lat: 42.36, Lon: -71.06},
+		Width:               800,
+		Height:              600,
+		BlockW:              100,
+		BlockH:              90,
+		StreetW:             14,
+		DowntownCoverage:    0.9,
+		ResidentialCoverage: 0.7,
+		CampusCoverage:      0.5,
+		DowntownRect:        geo.Rect{Min: geo.Pt(250, 150), Max: geo.Pt(550, 450)},
+	}
+	return s
+}

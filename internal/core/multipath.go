@@ -1,0 +1,65 @@
+package core
+
+import (
+	"citymesh/internal/conduit"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+)
+
+// MultipathResult is the outcome of a k-route redundant send.
+type MultipathResult struct {
+	// Routes are the diverse compressed routes attempted, in order.
+	Routes []conduit.Route
+	// Results are the per-route simulation outcomes.
+	Results []sim.Result
+	// Delivered reports whether any copy arrived.
+	Delivered bool
+	// TotalBroadcasts sums transmissions across all copies — the price of
+	// redundancy.
+	TotalBroadcasts int
+}
+
+// PlanDiverseRoutes returns up to k spatially diverse compressed routes
+// from src to dst (see buildinggraph.DiversePaths). The security rationale
+// (§1): if some conduits traverse compromised areas, an alternative that
+// avoids them may still deliver.
+func (n *Network) PlanDiverseRoutes(src, dst, k int) ([]conduit.Route, error) {
+	paths, err := n.Graph.DiversePaths(src, dst, k, 16)
+	if err != nil {
+		return nil, err
+	}
+	routes := make([]conduit.Route, 0, len(paths))
+	for _, p := range paths {
+		r, err := conduit.Compress(n.City, p, n.Cfg.ConduitWidth)
+		if err != nil {
+			return nil, err
+		}
+		routes = append(routes, r)
+	}
+	return routes, nil
+}
+
+// MultipathSend sends one copy of the payload along each of up to k diverse
+// routes and reports combined delivery. Each copy has a distinct message
+// ID, so compromised or failed regions that swallow one copy do not
+// suppress the others.
+func (n *Network) MultipathSend(src, dst int, payload []byte, k int, simCfg sim.Config) (MultipathResult, error) {
+	routes, err := n.PlanDiverseRoutes(src, dst, k)
+	if err != nil {
+		return MultipathResult{}, err
+	}
+	out := MultipathResult{Routes: routes}
+	for _, r := range routes {
+		pkt, err := n.NewPacket(r, payload)
+		if err != nil {
+			return out, err
+		}
+		res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+		out.Results = append(out.Results, res)
+		out.TotalBroadcasts += res.Broadcasts
+		if res.Delivered {
+			out.Delivered = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/sim"
+)
+
+func TestPlanDiverseRoutes(t *testing.T) {
+	n := smallNetwork(t, 301)
+	found := false
+	for _, p := range n.RandomPairs(1, 200) {
+		base, err := n.BuildingPath(p[0], p[1])
+		if err != nil || len(base) < 6 {
+			continue
+		}
+		routes, err := n.PlanDiverseRoutes(p[0], p[1], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(routes) == 0 {
+			t.Fatal("no routes")
+		}
+		for _, r := range routes {
+			if r.Src() != p[0] || r.Dst() != p[1] {
+				t.Fatalf("route endpoints %d-%d != pair %v", r.Src(), r.Dst(), p)
+			}
+			if r.Width != n.Cfg.ConduitWidth {
+				t.Fatalf("route width %v", r.Width)
+			}
+		}
+		if len(routes) >= 2 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("never produced 2+ diverse routes")
+	}
+	if _, err := n.PlanDiverseRoutes(0, 1<<20, 2); err == nil {
+		t.Error("out-of-range destination should error")
+	}
+}
+
+func TestMultipathSendDeliversAndSumsCost(t *testing.T) {
+	n := smallNetwork(t, 302)
+	for _, p := range n.RandomPairs(2, 200) {
+		if !n.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := n.MultipathSend(p[0], p[1], []byte("x"), 2, sim.DefaultConfig())
+		if err != nil {
+			continue
+		}
+		if len(res.Routes) == 0 || len(res.Results) != len(res.Routes) {
+			t.Fatalf("routes %d results %d", len(res.Routes), len(res.Results))
+		}
+		sum := 0
+		anyDelivered := false
+		for _, r := range res.Results {
+			sum += r.Broadcasts
+			anyDelivered = anyDelivered || r.Delivered
+		}
+		if sum != res.TotalBroadcasts {
+			t.Fatalf("TotalBroadcasts %d != sum %d", res.TotalBroadcasts, sum)
+		}
+		if anyDelivered != res.Delivered {
+			t.Fatal("Delivered flag inconsistent with per-route results")
+		}
+		// Message IDs must be distinct so copies propagate independently.
+		if len(res.Results) >= 2 {
+			return
+		}
+	}
+	t.Skip("no multi-route pair exercised")
+}
+
+func TestMultipathSendUnroutable(t *testing.T) {
+	n := smallNetwork(t, 303)
+	// Find a disconnected pair in the building graph, if any.
+	for _, p := range n.RandomPairs(3, 300) {
+		if _, err := n.BuildingPath(p[0], p[1]); err != nil {
+			if _, err := n.MultipathSend(p[0], p[1], nil, 2, sim.DefaultConfig()); err == nil {
+				t.Error("unroutable pair should error")
+			}
+			return
+		}
+	}
+	t.Skip("city fully connected; nothing to test")
+}
+
+func TestSendResultOverheadEdgeCases(t *testing.T) {
+	if (SendResult{IdealTransmissions: 0}).Overhead() != 0 {
+		t.Error("zero ideal should give zero overhead")
+	}
+	if (SendResult{IdealTransmissions: -1}).Overhead() != 0 {
+		t.Error("unknown ideal should give zero overhead")
+	}
+	r := SendResult{IdealTransmissions: 2, Sim: sim.Result{Broadcasts: 26}}
+	if r.Overhead() != 13 {
+		t.Errorf("overhead = %v", r.Overhead())
+	}
+}
+
+func TestFromSpecInvalid(t *testing.T) {
+	if _, err := FromSpec(citygen.Spec{}, DefaultConfig()); err == nil {
+		t.Error("invalid spec should error")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/conduit"
+	"citymesh/internal/osm"
+	"citymesh/internal/sim"
+)
+
+func smallNetwork(t testing.TB, seed int64) *Network {
+	t.Helper()
+	n, err := FromSpec(citygen.SmallTestSpec(seed), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, DefaultConfig()); err == nil {
+		t.Error("nil city should error")
+	}
+	if _, err := NewNetwork(&osm.City{Name: "empty"}, DefaultConfig()); err == nil {
+		t.Error("empty city should error")
+	}
+}
+
+func TestNetworkDefaultsApplied(t *testing.T) {
+	n, err := FromSpec(citygen.SmallTestSpec(81), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Cfg.TransmissionRange != 50 || n.Cfg.ConduitWidth != 50 || n.Cfg.TTL == 0 {
+		t.Errorf("defaults = %+v", n.Cfg)
+	}
+}
+
+func TestFromPreset(t *testing.T) {
+	if _, err := FromPreset("nowhere", DefaultConfig()); err == nil {
+		t.Error("unknown preset should error")
+	}
+	if !strings.Contains(strings.Join(citygen.PresetNames(), ","), "gridtown") {
+		t.Skip("gridtown preset missing")
+	}
+	n, err := FromPreset("gridtown", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.City.NumBuildings() < 300 {
+		t.Errorf("gridtown buildings = %d", n.City.NumBuildings())
+	}
+}
+
+func TestFromOSMPipeline(t *testing.T) {
+	plan, err := citygen.Generate(citygen.SmallTestSpec(82))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := osm.Write(&buf, plan.Document()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromOSM(&buf, "roundtrip", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.City.NumBuildings() < len(plan.Buildings)*9/10 {
+		t.Errorf("extracted %d of %d buildings", n.City.NumBuildings(), len(plan.Buildings))
+	}
+	if _, err := FromOSM(strings.NewReader("<osm"), "bad", DefaultConfig()); err == nil {
+		t.Error("bad XML should error")
+	}
+}
+
+func TestPlanRouteAndPacket(t *testing.T) {
+	n := smallNetwork(t, 83)
+	pairs := n.RandomPairs(1, 50)
+	planned := 0
+	for _, p := range pairs {
+		r, err := n.PlanRoute(p[0], p[1])
+		if err != nil {
+			continue
+		}
+		planned++
+		if r.Src() != p[0] || r.Dst() != p[1] {
+			t.Fatalf("route endpoints %d,%d != pair %v", r.Src(), r.Dst(), p)
+		}
+		pkt, err := n.NewPacket(r, []byte("hi"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Header.Src() != p[0] || pkt.Header.Dst() != p[1] {
+			t.Fatal("packet endpoints mismatch")
+		}
+		if pkt.Header.WidthMeters() != n.Cfg.ConduitWidth {
+			t.Fatalf("packet width %v != cfg %v", pkt.Header.WidthMeters(), n.Cfg.ConduitWidth)
+		}
+	}
+	if planned == 0 {
+		t.Fatal("no route planned at all")
+	}
+}
+
+func TestNewPacketUniqueMsgIDs(t *testing.T) {
+	n := smallNetwork(t, 84)
+	r := conduit.Route{Waypoints: []int{0, 1}, Width: 50}
+	ids := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		pkt, err := n.NewPacket(r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ids[pkt.Header.MsgID] {
+			t.Fatal("duplicate message ID")
+		}
+		ids[pkt.Header.MsgID] = true
+	}
+	if _, err := n.NewPacket(conduit.Route{}, nil); err == nil {
+		t.Error("empty route should error")
+	}
+}
+
+func TestSendEndToEnd(t *testing.T) {
+	n := smallNetwork(t, 85)
+	pairs := n.RandomPairs(2, 200)
+	delivered := 0
+	attempted := 0
+	for _, p := range pairs {
+		if !n.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := n.Send(p[0], p[1], []byte("payload"), sim.DefaultConfig())
+		if err != nil {
+			continue
+		}
+		attempted++
+		if res.Sim.Delivered {
+			delivered++
+			if res.IdealTransmissions > 0 && res.Overhead() < 1 {
+				t.Fatalf("overhead %v < 1 is impossible", res.Overhead())
+			}
+		}
+		if attempted >= 25 {
+			break
+		}
+	}
+	if attempted == 0 {
+		t.Fatal("no sends attempted")
+	}
+	if float64(delivered)/float64(attempted) < 0.5 {
+		t.Errorf("deliverability %d/%d too low for a dense small city", delivered, attempted)
+	}
+}
+
+func TestRandomPairsUnique(t *testing.T) {
+	n := smallNetwork(t, 86)
+	pairs := n.RandomPairs(3, 100)
+	if len(pairs) != 100 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	seen := make(map[[2]int]bool)
+	for _, p := range pairs {
+		if p[0] == p[1] {
+			t.Fatal("self pair")
+		}
+		if seen[p] {
+			t.Fatal("duplicate pair")
+		}
+		seen[p] = true
+	}
+	// Determinism.
+	again := n.RandomPairs(3, 100)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("RandomPairs not deterministic")
+		}
+	}
+}
+
+func TestBuildingPath(t *testing.T) {
+	n := smallNetwork(t, 87)
+	pairs := n.RandomPairs(4, 50)
+	for _, p := range pairs {
+		path, err := n.BuildingPath(p[0], p[1])
+		if err != nil {
+			continue
+		}
+		if path[0] != p[0] || path[len(path)-1] != p[1] {
+			t.Fatal("path endpoints mismatch")
+		}
+		return
+	}
+	t.Skip("no path found")
+}
+
+func TestPlanToCityCarriesGaps(t *testing.T) {
+	spec := citygen.SmallTestSpec(88)
+	spec.Rivers = []citygen.RiverSpec{{Start: spec.DowntownRect.Min, End: spec.DowntownRect.Max, Width: 50}}
+	plan, err := citygen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := PlanToCity(plan)
+	if len(city.Water) != 1 {
+		t.Errorf("water features = %d", len(city.Water))
+	}
+}
+
+func TestMsgIDSpread(t *testing.T) {
+	a := msgID(1, 1)
+	b := msgID(1, 2)
+	c := msgID(2, 1)
+	if a == b || a == c || b == c {
+		t.Error("msgID collisions")
+	}
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+	"citymesh/internal/stats"
+)
+
+// AblationRow is one parameter setting's outcome over a fixed pair sample.
+type AblationRow struct {
+	Label          string
+	Pairs          int
+	Deliverability float64
+	OverheadMedian float64
+	BroadcastsP50  float64
+}
+
+// AblationText renders ablation rows.
+func AblationText(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-18s %7s %8s %10s %10s\n", title, "setting", "pairs", "deliv", "ovh p50", "bcast p50")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %7d %7.1f%% %9.1fx %10.0f\n",
+			r.Label, r.Pairs, 100*r.Deliverability, r.OverheadMedian, r.BroadcastsP50)
+	}
+	return sb.String()
+}
+
+// sampleReachablePairs builds the shared pair sample for ablations.
+func sampleReachablePairs(n *core.Network, seed int64, count int) [][2]int {
+	pairs := n.RandomPairs(seed, count*6)
+	var out [][2]int
+	for _, p := range pairs {
+		if len(out) >= count {
+			break
+		}
+		if !n.Reachable(p[0], p[1]) {
+			continue
+		}
+		if _, err := n.BuildingPath(p[0], p[1]); err != nil {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ConduitWidthSweep measures deliverability and overhead as the conduit
+// width W varies (A1): narrow conduits tolerate less misprediction, wide
+// conduits rebroadcast more.
+func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []float64, pairCount int) ([]AblationRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if len(widths) == 0 {
+		widths = []float64{25, 35, 50, 75, 100}
+	}
+	if pairCount <= 0 {
+		pairCount = 30
+	}
+
+	rows := make([]AblationRow, 0, len(widths))
+	for _, w := range widths {
+		cfg := core.DefaultConfig()
+		cfg.ConduitWidth = w
+		n, err := core.FromSpec(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pairs := sampleReachablePairs(n, seed, pairCount)
+		row := runPairs(n, pairs, fmt.Sprintf("W=%.0fm", w), seed)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WeightExponentSweep compares edge-weight exponents for the building graph
+// (A2): the paper's cubed weights versus linear and squared.
+func WeightExponentSweep(cityName string, scale float64, seed int64, exponents []float64, pairCount int) ([]AblationRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if len(exponents) == 0 {
+		exponents = []float64{1, 2, 3, 4}
+	}
+	if pairCount <= 0 {
+		pairCount = 30
+	}
+	rows := make([]AblationRow, 0, len(exponents))
+	for _, e := range exponents {
+		cfg := core.DefaultConfig()
+		cfg.WeightExponent = e
+		n, err := core.FromSpec(spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		pairs := sampleReachablePairs(n, seed, pairCount)
+		rows = append(rows, runPairs(n, pairs, fmt.Sprintf("gap^%.0f", e), seed))
+	}
+	return rows, nil
+}
+
+// runPairs sends across each pair under the CityMesh policy and summarizes.
+func runPairs(n *core.Network, pairs [][2]int, label string, seed int64) AblationRow {
+	simCfg := sim.DefaultConfig()
+	simCfg.Seed = seed
+	row := AblationRow{Label: label}
+	delivered := 0
+	var overheads, bcasts []float64
+	for _, p := range pairs {
+		res, err := n.Send(p[0], p[1], nil, simCfg)
+		if err != nil {
+			continue
+		}
+		row.Pairs++
+		bcasts = append(bcasts, float64(res.Sim.Broadcasts))
+		if res.Sim.Delivered {
+			delivered++
+			if o := res.Overhead(); o > 0 {
+				overheads = append(overheads, o)
+			}
+		}
+	}
+	if row.Pairs > 0 {
+		row.Deliverability = float64(delivered) / float64(row.Pairs)
+	}
+	if len(overheads) > 0 {
+		row.OverheadMedian = stats.Percentile(overheads, 50)
+	}
+	if len(bcasts) > 0 {
+		row.BroadcastsP50 = stats.Percentile(bcasts, 50)
+	}
+	return row
+}
+
+// BaselineComparison runs CityMesh against flooding, gossip, greedy
+// geographic forwarding and the AODV cost model on the same pair sample
+// (A3).
+func BaselineComparison(cityName string, scale float64, seed int64, pairCount int) ([]AblationRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if pairCount <= 0 {
+		pairCount = 30
+	}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pairs := sampleReachablePairs(n, seed, pairCount)
+
+	policies := []sim.Policy{
+		routing.NewCityMesh(),
+		routing.Flood{},
+		routing.Gossip{P: 0.65},
+		routing.GreedyGeo{},
+		routing.GreedyGeo{Fallback: true},
+	}
+	var rows []AblationRow
+	for _, pol := range policies {
+		row := AblationRow{Label: pol.Name()}
+		delivered := 0
+		var overheads, bcasts []float64
+		for _, p := range pairs {
+			r, err := n.PlanRoute(p[0], p[1])
+			if err != nil {
+				continue
+			}
+			pkt, err := n.NewPacket(r, nil)
+			if err != nil {
+				continue
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.Seed = seed
+			res := sim.Run(n.Mesh, n.City, pol, pkt, simCfg)
+			row.Pairs++
+			bcasts = append(bcasts, float64(res.Broadcasts))
+			if res.Delivered {
+				delivered++
+				if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
+					overheads = append(overheads, res.Overhead(ideal))
+				}
+			}
+		}
+		if row.Pairs > 0 {
+			row.Deliverability = float64(delivered) / float64(row.Pairs)
+		}
+		if len(overheads) > 0 {
+			row.OverheadMedian = stats.Percentile(overheads, 50)
+		}
+		if len(bcasts) > 0 {
+			row.BroadcastsP50 = stats.Percentile(bcasts, 50)
+		}
+		rows = append(rows, row)
+	}
+
+	// AODV cost model: per-message route discovery + unicast data.
+	aodv := AblationRow{Label: "aodv-model"}
+	var overheads, bcasts []float64
+	delivered := 0
+	simCfg := sim.DefaultConfig()
+	simCfg.Seed = seed
+	for _, p := range pairs {
+		cost := routing.AODVDiscover(n.Mesh, n.City, p[0], p[1], simCfg)
+		aodv.Pairs++
+		bcasts = append(bcasts, float64(cost.Total()))
+		if cost.Delivered {
+			delivered++
+			if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
+				overheads = append(overheads, float64(cost.Total())/float64(ideal))
+			}
+		}
+	}
+	if aodv.Pairs > 0 {
+		aodv.Deliverability = float64(delivered) / float64(aodv.Pairs)
+	}
+	if len(overheads) > 0 {
+		aodv.OverheadMedian = stats.Percentile(overheads, 50)
+	}
+	if len(bcasts) > 0 {
+		aodv.BroadcastsP50 = stats.Percentile(bcasts, 50)
+	}
+	rows = append(rows, aodv)
+	return rows, nil
+}
+
+// FailureInjection measures deliverability as a growing random fraction of
+// APs fail or are compromised (A4) — the DFN resilience question from §1.
+func FailureInjection(cityName string, scale float64, seed int64, fracs []float64, pairCount int) ([]AblationRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if len(fracs) == 0 {
+		fracs = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	}
+	if pairCount <= 0 {
+		pairCount = 30
+	}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pairs := sampleReachablePairs(n, seed, pairCount)
+
+	rows := make([]AblationRow, 0, len(fracs))
+	for _, f := range fracs {
+		failed := failSet(n.Mesh.NumAPs(), f, seed)
+		row := AblationRow{Label: fmt.Sprintf("fail=%.0f%%", 100*f)}
+		delivered := 0
+		var bcasts []float64
+		for _, p := range pairs {
+			r, err := n.PlanRoute(p[0], p[1])
+			if err != nil {
+				continue
+			}
+			pkt, err := n.NewPacket(r, nil)
+			if err != nil {
+				continue
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.Seed = seed
+			simCfg.FailedAPs = failed
+			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+			row.Pairs++
+			bcasts = append(bcasts, float64(res.Broadcasts))
+			if res.Delivered {
+				delivered++
+			}
+		}
+		if row.Pairs > 0 {
+			row.Deliverability = float64(delivered) / float64(row.Pairs)
+		}
+		if len(bcasts) > 0 {
+			row.BroadcastsP50 = stats.Percentile(bcasts, 50)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// failSet deterministically marks a fraction of AP ids as failed.
+func failSet(numAPs int, frac float64, seed int64) map[int]bool {
+	if frac <= 0 {
+		return nil
+	}
+	// A multiplicative hash keeps the set stable per (seed, frac) without
+	// a full permutation.
+	out := make(map[int]bool, int(float64(numAPs)*frac))
+	threshold := uint64(frac * float64(1<<32))
+	for i := 0; i < numAPs; i++ {
+		x := uint64(i)*0x9e3779b97f4a7c15 + uint64(seed)
+		x ^= x >> 29
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 32
+		if x&0xffffffff < threshold {
+			out[i] = true
+		}
+	}
+	return out
+}

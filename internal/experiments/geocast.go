@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"citymesh/internal/apps"
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/sim"
+	"citymesh/internal/stats"
+)
+
+// GeocastRow is one target-radius setting of the A7 experiment: coverage
+// and cost of area-addressed messaging (§1's "geospatial messaging").
+type GeocastRow struct {
+	RadiusM       float64
+	Casts         int
+	CoverageP50   float64
+	CoverageMean  float64
+	BroadcastsP50 float64
+	APsInAreaP50  float64
+}
+
+// GeocastSweep sends geocasts to random in-city target discs of each
+// radius from random sources and measures in-area AP coverage.
+func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, casts int) ([]GeocastRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if len(radii) == 0 {
+		radii = []float64{100, 200, 400}
+	}
+	if casts <= 0 {
+		casts = 15
+	}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]GeocastRow, 0, len(radii))
+	for _, radius := range radii {
+		row := GeocastRow{RadiusM: radius}
+		var coverages, bcasts, inArea []float64
+		pairs := n.RandomPairs(seed, casts*6)
+		for _, p := range pairs {
+			if row.Casts >= casts {
+				break
+			}
+			src := p[0]
+			center := n.City.Buildings[p[1]].Centroid
+			anchor := n.Graph.NearestBuilding(center)
+			if anchor < 0 || !n.Reachable(src, anchor) {
+				continue
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.Seed = seed
+			res, err := apps.Geocast(n, src, center, radius, nil, simCfg)
+			if err != nil || res.APsInArea == 0 {
+				continue
+			}
+			row.Casts++
+			coverages = append(coverages, res.Coverage())
+			bcasts = append(bcasts, float64(res.Broadcasts))
+			inArea = append(inArea, float64(res.APsInArea))
+		}
+		if len(coverages) > 0 {
+			row.CoverageP50 = stats.Percentile(coverages, 50)
+			row.CoverageMean = stats.Mean(coverages)
+			row.BroadcastsP50 = stats.Percentile(bcasts, 50)
+			row.APsInAreaP50 = stats.Percentile(inArea, 50)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GeocastText renders the sweep.
+func GeocastText(rows []GeocastRow) string {
+	out := fmt.Sprintf("A7: geocast coverage by target radius\n%-10s %6s %9s %9s %10s %10s\n",
+		"radius", "casts", "cov p50", "cov mean", "bcast p50", "APs p50")
+	for _, r := range rows {
+		out += fmt.Sprintf("%7.0f m %6d %8.1f%% %8.1f%% %10.0f %10.0f\n",
+			r.RadiusM, r.Casts, 100*r.CoverageP50, 100*r.CoverageMean, r.BroadcastsP50, r.APsInAreaP50)
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+	"citymesh/internal/stats"
+)
+
+// newCityMeshPolicy indirection keeps the experiments package's routing
+// dependency in one place.
+func newCityMeshPolicy() sim.Policy { return routing.NewCityMesh() }
+
+// HeaderSizeResult reproduces the paper's §4 compressed-header result:
+// "in a typical city simulation, the median and 90%ile packet header for
+// the compressed source route are 175 and 225 bits".
+type HeaderSizeResult struct {
+	City            string
+	Routes          int
+	Waypoints       stats.Summary
+	RouteBits       stats.Summary
+	FullHeaderBits  stats.Summary
+	UncompressedWps stats.Summary // route length before conduit compression
+}
+
+// HeaderSizes samples random routable pairs in a city and measures the
+// encoded route and header sizes.
+func HeaderSizes(cityName string, scale float64, seed int64, samples int) (HeaderSizeResult, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return HeaderSizeResult{}, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		return HeaderSizeResult{}, err
+	}
+	if samples <= 0 {
+		samples = 200
+	}
+	var routeBits, headerBits, wps, rawWps []float64
+	pairs := n.RandomPairs(seed, samples*4)
+	for _, p := range pairs {
+		if len(routeBits) >= samples {
+			break
+		}
+		path, err := n.BuildingPath(p[0], p[1])
+		if err != nil {
+			continue
+		}
+		r, err := n.PlanRoute(p[0], p[1])
+		if err != nil {
+			continue
+		}
+		pkt, err := n.NewPacket(r, nil)
+		if err != nil {
+			continue
+		}
+		routeBits = append(routeBits, float64(pkt.Header.RouteBits()))
+		headerBits = append(headerBits, float64(pkt.Header.HeaderBits()))
+		wps = append(wps, float64(len(r.Waypoints)))
+		rawWps = append(rawWps, float64(len(path)))
+	}
+	if len(routeBits) == 0 {
+		return HeaderSizeResult{}, fmt.Errorf("experiments: no routable pairs in %s", cityName)
+	}
+	return HeaderSizeResult{
+		City:            cityName,
+		Routes:          len(routeBits),
+		Waypoints:       stats.Summarize(wps),
+		RouteBits:       stats.Summarize(routeBits),
+		FullHeaderBits:  stats.Summarize(headerBits),
+		UncompressedWps: stats.Summarize(rawWps),
+	}, nil
+}
+
+// Text renders the header-size result.
+func (r HeaderSizeResult) Text() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Header sizes in %s over %d routes (paper: route p50=175, p90=225 bits)\n", r.City, r.Routes)
+	fmt.Fprintf(&sb, "  route buildings (uncompressed): p50=%.0f p90=%.0f\n", r.UncompressedWps.P50, r.UncompressedWps.P90)
+	fmt.Fprintf(&sb, "  waypoints after compression:    p50=%.0f p90=%.0f\n", r.Waypoints.P50, r.Waypoints.P90)
+	fmt.Fprintf(&sb, "  compressed route bits:          p50=%.0f p90=%.0f\n", r.RouteBits.P50, r.RouteBits.P90)
+	fmt.Fprintf(&sb, "  full header bits:               p50=%.0f p90=%.0f\n", r.FullHeaderBits.P50, r.FullHeaderBits.P90)
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/sim"
+	"citymesh/internal/stats"
+)
+
+// RadioRow is one PHY-model setting's outcome (A6): the paper's §6 calls
+// for higher-fidelity simulation; this ablation quantifies how much the
+// idealized unit-disk assumption flatters the results.
+type RadioRow struct {
+	Model          string
+	Pairs          int
+	Deliverability float64
+	OverheadMedian float64
+	DeliveryMsP50  float64
+}
+
+// RadioModelSweep runs the same pair sample under different radio models
+// and collision settings.
+func RadioModelSweep(cityName string, scale float64, seed int64, pairCount int) ([]RadioRow, error) {
+	spec, ok := citygen.Preset(cityName)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
+	}
+	if scale > 0 && scale < 1 {
+		spec = scaleSpec(spec, scale)
+	}
+	if pairCount <= 0 {
+		pairCount = 20
+	}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	pairs := sampleReachablePairs(n, seed, pairCount)
+
+	type setting struct {
+		name      string
+		radio     sim.RadioModel
+		collision float64
+		loss      float64
+	}
+	settings := []setting{
+		{name: "unitdisk (paper)", radio: nil},
+		{name: "pathloss", radio: sim.DefaultPathLoss()},
+		{name: "pathloss+loss10%", radio: sim.DefaultPathLoss(), loss: 0.1},
+		{name: "pathloss+collisions", radio: sim.DefaultPathLoss(), collision: 0.0002},
+	}
+
+	rows := make([]RadioRow, 0, len(settings))
+	for _, st := range settings {
+		row := RadioRow{Model: st.name}
+		delivered := 0
+		var overheads, delays []float64
+		for _, p := range pairs {
+			simCfg := sim.DefaultConfig()
+			simCfg.Seed = seed
+			simCfg.Radio = st.radio
+			simCfg.CollisionWindow = st.collision
+			simCfg.LossProb = st.loss
+			res, err := n.Send(p[0], p[1], nil, simCfg)
+			if err != nil {
+				continue
+			}
+			row.Pairs++
+			if res.Sim.Delivered {
+				delivered++
+				delays = append(delays, res.Sim.DeliveryTime*1000)
+				if o := res.Overhead(); o > 0 {
+					overheads = append(overheads, o)
+				}
+			}
+		}
+		if row.Pairs > 0 {
+			row.Deliverability = float64(delivered) / float64(row.Pairs)
+		}
+		if len(overheads) > 0 {
+			row.OverheadMedian = stats.Percentile(overheads, 50)
+		}
+		if len(delays) > 0 {
+			row.DeliveryMsP50 = stats.Percentile(delays, 50)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RadioText renders the sweep.
+func RadioText(rows []RadioRow) string {
+	out := fmt.Sprintf("A6: deliverability under PHY models\n%-22s %7s %8s %9s %10s\n",
+		"model", "pairs", "deliv", "ovh p50", "delay p50")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %7d %7.1f%% %8.1fx %8.0fms\n",
+			r.Model, r.Pairs, 100*r.Deliverability, r.OverheadMedian, r.DeliveryMsP50)
+	}
+	return out
+}

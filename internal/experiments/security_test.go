@@ -1,0 +1,90 @@
+package experiments
+
+import "testing"
+
+func TestMultipathUnderAttack(t *testing.T) {
+	rows, err := MultipathUnderAttack("gridtown", 0.3, 1, []float64{0, 0.15}, []int{1, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[[2]int]SecurityRow{}
+	for _, r := range rows {
+		byKey[[2]int{int(r.AttackFrac * 100), r.Paths}] = r
+		if r.Pairs == 0 {
+			t.Fatalf("no pairs for %+v", r)
+		}
+	}
+	// More paths cost more broadcasts.
+	if byKey[[2]int{0, 3}].BroadcastsP50 < byKey[[2]int{0, 1}].BroadcastsP50 {
+		t.Error("3 paths should cost at least as much as 1")
+	}
+	// Under attack, 3 paths should deliver at least as well as 1.
+	if byKey[[2]int{15, 3}].Deliverability < byKey[[2]int{15, 1}].Deliverability {
+		t.Errorf("multipath under attack %.2f worse than single path %.2f",
+			byKey[[2]int{15, 3}].Deliverability, byKey[[2]int{15, 1}].Deliverability)
+	}
+	if SecurityText(rows) == "" {
+		t.Error("empty text")
+	}
+	if _, err := MultipathUnderAttack("nope", 1, 1, nil, nil, 1); err == nil {
+		t.Error("unknown city should error")
+	}
+}
+
+func TestRadioModelSweep(t *testing.T) {
+	rows, err := RadioModelSweep("gridtown", 0.3, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pairs == 0 {
+			t.Fatalf("%s: no pairs", r.Model)
+		}
+		if r.Deliverability < 0 || r.Deliverability > 1 {
+			t.Fatalf("%s: deliverability %v", r.Model, r.Deliverability)
+		}
+	}
+	// Lossy settings cannot beat the idealized unit disk on this seed set
+	// by a wide margin; at minimum the text renders.
+	if RadioText(rows) == "" {
+		t.Error("empty text")
+	}
+	if _, err := RadioModelSweep("nope", 1, 1, 1); err == nil {
+		t.Error("unknown city should error")
+	}
+}
+
+func TestGeocastSweep(t *testing.T) {
+	rows, err := GeocastSweep("gridtown", 0.3, 1, []float64{80, 200}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Casts == 0 {
+			t.Fatalf("radius %v: no casts", r.RadiusM)
+		}
+		if r.CoverageP50 < 0 || r.CoverageP50 > 1 {
+			t.Fatalf("coverage = %v", r.CoverageP50)
+		}
+	}
+	// Larger areas contain more APs.
+	if rows[1].APsInAreaP50 <= rows[0].APsInAreaP50 {
+		t.Errorf("larger radius should cover more APs: %v vs %v",
+			rows[1].APsInAreaP50, rows[0].APsInAreaP50)
+	}
+	if GeocastText(rows) == "" {
+		t.Error("empty text")
+	}
+	if _, err := GeocastSweep("nope", 1, 1, nil, 1); err == nil {
+		t.Error("unknown city should error")
+	}
+}

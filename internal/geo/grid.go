@@ -1,0 +1,140 @@
+package geo
+
+import "math"
+
+// Grid is a uniform spatial hash over points, used for unit-disk neighbor
+// queries when building AP graphs over hundreds of thousands of nodes. Cell
+// size should be on the order of the query radius: a radius-r query then
+// touches at most a 3x3 block of cells.
+type Grid struct {
+	cell    float64
+	cells   map[gridKey][]int32
+	pts     []Point
+	bounds  Rect
+	hasPts  bool
+	invCell float64
+}
+
+type gridKey struct{ cx, cy int32 }
+
+// NewGrid returns an empty grid with the given cell size. Cell sizes that
+// are zero or negative are replaced with 1.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &Grid{
+		cell:    cellSize,
+		invCell: 1 / cellSize,
+		cells:   make(map[gridKey][]int32),
+	}
+}
+
+// Insert adds p to the grid and returns its index. Indices are assigned
+// sequentially from zero and identify points in query results.
+func (g *Grid) Insert(p Point) int {
+	id := int32(len(g.pts))
+	g.pts = append(g.pts, p)
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+	if !g.hasPts {
+		g.bounds = Rect{Min: p, Max: p}
+		g.hasPts = true
+	} else {
+		g.bounds = g.bounds.ExpandToPoint(p)
+	}
+	return int(id)
+}
+
+// Len returns the number of points in the grid.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// At returns the point with index id.
+func (g *Grid) At(id int) Point { return g.pts[id] }
+
+// Bounds returns the bounding box of all inserted points.
+func (g *Grid) Bounds() Rect { return g.bounds }
+
+func (g *Grid) key(p Point) gridKey {
+	return gridKey{
+		cx: int32(math.Floor(p.X * g.invCell)),
+		cy: int32(math.Floor(p.Y * g.invCell)),
+	}
+}
+
+// WithinRadius calls fn with the index and location of every point within
+// radius r of center (inclusive). Iteration order is unspecified. If fn
+// returns false the query stops early.
+func (g *Grid) WithinRadius(center Point, r float64, fn func(id int, p Point) bool) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	minK := g.key(Point{center.X - r, center.Y - r})
+	maxK := g.key(Point{center.X + r, center.Y + r})
+	for cx := minK.cx; cx <= maxK.cx; cx++ {
+		for cy := minK.cy; cy <= maxK.cy; cy++ {
+			for _, id := range g.cells[gridKey{cx, cy}] {
+				p := g.pts[id]
+				if p.Dist2(center) <= r2 {
+					if !fn(int(id), p) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// InRect calls fn with the index and location of every point inside r
+// (boundary inclusive). If fn returns false the query stops early.
+func (g *Grid) InRect(r Rect, fn func(id int, p Point) bool) {
+	minK := g.key(r.Min)
+	maxK := g.key(r.Max)
+	for cx := minK.cx; cx <= maxK.cx; cx++ {
+		for cy := minK.cy; cy <= maxK.cy; cy++ {
+			for _, id := range g.cells[gridKey{cx, cy}] {
+				p := g.pts[id]
+				if r.Contains(p) {
+					if !fn(int(id), p) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nearest returns the index of the point nearest to center and its distance.
+// It returns (-1, +Inf) when the grid is empty. maxRadius bounds the search;
+// pass a non-positive value to search the whole grid.
+func (g *Grid) Nearest(center Point, maxRadius float64) (int, float64) {
+	if len(g.pts) == 0 {
+		return -1, math.Inf(1)
+	}
+	limit := maxRadius
+	if limit <= 0 {
+		// Expand until the whole bounding box is covered.
+		limit = math.Max(g.bounds.Width(), g.bounds.Height()) + g.cell
+		if limit <= 0 {
+			limit = g.cell
+		}
+	}
+	bestID, bestD := -1, math.Inf(1)
+	for r := g.cell; ; r *= 2 {
+		g.WithinRadius(center, r, func(id int, p Point) bool {
+			if d := p.Dist(center); d < bestD {
+				bestID, bestD = id, d
+			}
+			return true
+		})
+		// A hit is only guaranteed nearest once the search radius exceeds
+		// the best distance found so far.
+		if bestID >= 0 && bestD <= r {
+			return bestID, bestD
+		}
+		if r >= limit {
+			return bestID, bestD
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -4-6 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Pt(0, 0).Dist(Pt(3, 4)); d != 5 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if d := Pt(0, 0).Dist2(Pt(3, 4)); d != 25 {
+		t.Errorf("Dist2 = %v, want 25", d)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	u := Pt(3, 4).Unit()
+	if !almostEq(u.Norm(), 1, 1e-12) {
+		t.Errorf("Unit norm = %v", u.Norm())
+	}
+	if (Point{}).Unit() != (Point{}) {
+		t.Error("Unit of zero vector should be zero")
+	}
+}
+
+func TestPerpOrthogonal(t *testing.T) {
+	p := Pt(2.5, -1.25)
+	if d := p.Dot(p.Perp()); d != 0 {
+		t.Errorf("Perp not orthogonal: dot = %v", d)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := Pt(0, 0), Pt(10, 20)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != Pt(5, 10) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestSegmentDistToPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Pt(5, 3), 3},
+		{Pt(-3, 4), 5},
+		{Pt(13, 4), 5},
+		{Pt(5, 0), 0},
+		{Pt(0, 0), 0},
+	}
+	for _, c := range cases {
+		if got := s.DistToPoint(c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("DistToPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSegmentDistDegenerate(t *testing.T) {
+	s := Segment{Pt(1, 1), Pt(1, 1)}
+	if got := s.DistToPoint(Pt(4, 5)); !almostEq(got, 5, 1e-12) {
+		t.Errorf("degenerate DistToPoint = %v, want 5", got)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Segment{Pt(0, 0), Pt(10, 10)}, Segment{Pt(0, 10), Pt(10, 0)}, true},
+		{Segment{Pt(0, 0), Pt(10, 0)}, Segment{Pt(0, 1), Pt(10, 1)}, false},
+		{Segment{Pt(0, 0), Pt(10, 0)}, Segment{Pt(5, 0), Pt(5, 5)}, true},  // T-junction
+		{Segment{Pt(0, 0), Pt(5, 0)}, Segment{Pt(5, 0), Pt(10, 0)}, true},  // shared endpoint
+		{Segment{Pt(0, 0), Pt(4, 0)}, Segment{Pt(5, 0), Pt(10, 0)}, false}, // collinear disjoint
+		{Segment{Pt(0, 0), Pt(10, 0)}, Segment{Pt(2, 0), Pt(8, 0)}, true},  // collinear overlap
+		{Segment{Pt(0, 0), Pt(1, 1)}, Segment{Pt(2, 2), Pt(3, 1)}, false},  // near miss
+	}
+	for i, c := range cases {
+		if got := c.a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		// Symmetry.
+		if got := c.b.Intersects(c.a); got != c.want {
+			t.Errorf("case %d: reversed Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestQuickDistSymmetricAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := Pt(ax, ay), Pt(bx, by), Pt(cx, cy)
+		if math.IsNaN(ax + ay + bx + by + cx + cy) {
+			return true
+		}
+		if a.Dist(b) != b.Dist(a) {
+			return false
+		}
+		// Triangle inequality with slack for float rounding.
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9*(1+a.Dist(c))
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLerpEndpoints(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.IsNaN(v) || math.Abs(v) > 1e12 {
+				return true // skip pathological float inputs
+			}
+		}
+		a, b := Pt(ax, ay), Pt(bx, by)
+		return a.Lerp(b, 0) == a && a.Lerp(b, 1).Dist(b) <= 1e-9*(1+b.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

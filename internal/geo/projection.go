@@ -1,0 +1,56 @@
+package geo
+
+import "math"
+
+// EarthRadiusMeters is the mean Earth radius used by the equirectangular
+// projection.
+const EarthRadiusMeters = 6371000.0
+
+// LatLon is a WGS-84 coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Projection maps lat/lon coordinates to a local tangent plane in meters
+// using the equirectangular approximation around an origin. At city scale
+// (tens of kilometers) the distortion is far below the Wi-Fi transmission
+// range, so all CityMesh geometry can run in the plane.
+type Projection struct {
+	Origin LatLon
+	cosLat float64
+}
+
+// NewProjection returns a projection centered at origin.
+func NewProjection(origin LatLon) *Projection {
+	return &Projection{Origin: origin, cosLat: math.Cos(origin.Lat * math.Pi / 180)}
+}
+
+// ToPlane projects ll into the local plane.
+func (pr *Projection) ToPlane(ll LatLon) Point {
+	const degToRad = math.Pi / 180
+	return Point{
+		X: (ll.Lon - pr.Origin.Lon) * degToRad * EarthRadiusMeters * pr.cosLat,
+		Y: (ll.Lat - pr.Origin.Lat) * degToRad * EarthRadiusMeters,
+	}
+}
+
+// ToLatLon is the inverse of ToPlane.
+func (pr *Projection) ToLatLon(p Point) LatLon {
+	const radToDeg = 180 / math.Pi
+	return LatLon{
+		Lat: pr.Origin.Lat + p.Y/EarthRadiusMeters*radToDeg,
+		Lon: pr.Origin.Lon + p.X/(EarthRadiusMeters*pr.cosLat)*radToDeg,
+	}
+}
+
+// HaversineMeters returns the great-circle distance between two coordinates.
+// It is the ground truth the projection is validated against in tests.
+func HaversineMeters(a, b LatLon) float64 {
+	const degToRad = math.Pi / 180
+	lat1, lat2 := a.Lat*degToRad, b.Lat*degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusMeters * math.Asin(math.Min(1, math.Sqrt(s)))
+}

@@ -1,0 +1,312 @@
+// Package internetwork composes city-scale DFNs into a wider fallback
+// network — §1's question "how do we form an inter-network of DFNs across
+// regions?" and "what role ... should technologies such as satellite
+// networks serve ... to connect between population centers".
+//
+// Each Region is one CityMesh deployment. Regions peer through gateways:
+// designated buildings hosting long-haul equipment (satellite terminals,
+// surviving point-to-point fiber, HF radio). An inter-region message rides
+// CityMesh conduits from the source to its region's gateway, crosses one or
+// more inter-region links, and rides conduits again from the destination
+// region's gateway to the destination building. Region-level routing is a
+// Dijkstra over the gateway link graph weighted by link latency.
+package internetwork
+
+import (
+	"container/heap"
+	"fmt"
+
+	"citymesh/internal/core"
+	"citymesh/internal/sim"
+)
+
+// RegionID names a region.
+type RegionID string
+
+// Region is one city-scale DFN plus its gateway building.
+type Region struct {
+	ID RegionID
+	// Net is the region's CityMesh deployment.
+	Net *core.Network
+	// Gateway is the dense building index hosting the region's long-haul
+	// equipment.
+	Gateway int
+}
+
+// LinkKind classifies an inter-region link.
+type LinkKind int
+
+const (
+	// LinkSatellite is a satellite bounce: high latency, works anywhere.
+	LinkSatellite LinkKind = iota
+	// LinkFiber is surviving long-haul fiber: low latency.
+	LinkFiber
+	// LinkHFRadio is long-range terrestrial radio: moderate latency, low
+	// bandwidth.
+	LinkHFRadio
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkSatellite:
+		return "satellite"
+	case LinkFiber:
+		return "fiber"
+	case LinkHFRadio:
+		return "hf-radio"
+	default:
+		return "unknown"
+	}
+}
+
+// Link is a bidirectional gateway-to-gateway connection.
+type Link struct {
+	A, B RegionID
+	Kind LinkKind
+	// LatencySeconds is the one-way link latency.
+	LatencySeconds float64
+	// Down marks a failed link (failure injection).
+	Down bool
+}
+
+// Address identifies an endpoint across the inter-network.
+type Address struct {
+	Region   RegionID
+	Building int
+}
+
+// Internetwork is the composed fallback network.
+type Internetwork struct {
+	regions map[RegionID]*Region
+	links   []Link
+}
+
+// New returns an empty inter-network.
+func New() *Internetwork {
+	return &Internetwork{regions: make(map[RegionID]*Region)}
+}
+
+// AddRegion registers a region. The gateway building must exist in the
+// region's city.
+func (in *Internetwork) AddRegion(r *Region) error {
+	if r == nil || r.Net == nil {
+		return fmt.Errorf("internetwork: nil region")
+	}
+	if r.Gateway < 0 || r.Gateway >= r.Net.City.NumBuildings() {
+		return fmt.Errorf("internetwork: gateway building %d out of range", r.Gateway)
+	}
+	if _, dup := in.regions[r.ID]; dup {
+		return fmt.Errorf("internetwork: duplicate region %q", r.ID)
+	}
+	in.regions[r.ID] = r
+	return nil
+}
+
+// AddLink connects two registered regions.
+func (in *Internetwork) AddLink(l Link) error {
+	if _, ok := in.regions[l.A]; !ok {
+		return fmt.Errorf("internetwork: unknown region %q", l.A)
+	}
+	if _, ok := in.regions[l.B]; !ok {
+		return fmt.Errorf("internetwork: unknown region %q", l.B)
+	}
+	if l.A == l.B {
+		return fmt.Errorf("internetwork: self link %q", l.A)
+	}
+	if l.LatencySeconds <= 0 {
+		l.LatencySeconds = defaultLatency(l.Kind)
+	}
+	in.links = append(in.links, l)
+	return nil
+}
+
+func defaultLatency(k LinkKind) float64 {
+	switch k {
+	case LinkFiber:
+		return 0.01
+	case LinkHFRadio:
+		return 0.1
+	default:
+		return 0.6 // GEO satellite bounce
+	}
+}
+
+// Region returns a registered region.
+func (in *Internetwork) Region(id RegionID) (*Region, bool) {
+	r, ok := in.regions[id]
+	return r, ok
+}
+
+// RegionPath returns the minimum-latency sequence of regions from a to b
+// over non-failed links, inclusive of both endpoints.
+func (in *Internetwork) RegionPath(a, b RegionID) ([]RegionID, float64, error) {
+	if _, ok := in.regions[a]; !ok {
+		return nil, 0, fmt.Errorf("internetwork: unknown region %q", a)
+	}
+	if _, ok := in.regions[b]; !ok {
+		return nil, 0, fmt.Errorf("internetwork: unknown region %q", b)
+	}
+	if a == b {
+		return []RegionID{a}, 0, nil
+	}
+	dist := map[RegionID]float64{a: 0}
+	prev := map[RegionID]RegionID{}
+	pq := &regionHeap{{id: a, d: 0}}
+	done := map[RegionID]bool{}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(regionItem)
+		if done[it.id] {
+			continue
+		}
+		done[it.id] = true
+		if it.id == b {
+			break
+		}
+		for _, l := range in.links {
+			if l.Down {
+				continue
+			}
+			var peer RegionID
+			switch it.id {
+			case l.A:
+				peer = l.B
+			case l.B:
+				peer = l.A
+			default:
+				continue
+			}
+			nd := it.d + l.LatencySeconds
+			if cur, ok := dist[peer]; !ok || nd < cur {
+				dist[peer] = nd
+				prev[peer] = it.id
+				heap.Push(pq, regionItem{id: peer, d: nd})
+			}
+		}
+	}
+	total, ok := dist[b]
+	if !ok || !done[b] {
+		return nil, 0, fmt.Errorf("internetwork: no link path %q -> %q", a, b)
+	}
+	var path []RegionID
+	for cur := b; ; cur = prev[cur] {
+		path = append([]RegionID{cur}, path...)
+		if cur == a {
+			break
+		}
+	}
+	return path, total, nil
+}
+
+type regionItem struct {
+	id RegionID
+	d  float64
+}
+
+type regionHeap []regionItem
+
+func (h regionHeap) Len() int           { return len(h) }
+func (h regionHeap) Less(i, j int) bool { return h[i].d < h[j].d }
+func (h regionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *regionHeap) Push(x any)        { *h = append(*h, x.(regionItem)) }
+func (h *regionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Leg is one intra-region conduit traversal of an inter-region delivery.
+type Leg struct {
+	Region    RegionID
+	Src, Dst  int
+	Delivered bool
+	Sim       sim.Result
+}
+
+// SendResult is the outcome of an inter-region send.
+type SendResult struct {
+	RegionPath []RegionID
+	Legs       []Leg
+	// Delivered reports end-to-end success (every leg delivered).
+	Delivered bool
+	// LinkLatency is the summed inter-region link latency.
+	LinkLatency float64
+	// TotalBroadcasts sums mesh transmissions across all legs.
+	TotalBroadcasts int
+}
+
+// Send delivers a payload from src to dst across the inter-network: conduit
+// legs within regions, link hops between gateways.
+func (in *Internetwork) Send(src, dst Address, payload []byte, simCfg sim.Config) (SendResult, error) {
+	regions, latency, err := in.RegionPath(src.Region, dst.Region)
+	if err != nil {
+		return SendResult{}, err
+	}
+	out := SendResult{RegionPath: regions, LinkLatency: latency, Delivered: true}
+
+	for i, rid := range regions {
+		r := in.regions[rid]
+		legSrc, legDst := r.Gateway, r.Gateway
+		if i == 0 {
+			legSrc = src.Building
+		}
+		if i == len(regions)-1 {
+			legDst = dst.Building
+		}
+		if legSrc == legDst {
+			// Gateway-to-gateway passthrough within one region, or sender
+			// already at the gateway: nothing to simulate.
+			out.Legs = append(out.Legs, Leg{Region: rid, Src: legSrc, Dst: legDst, Delivered: true})
+			continue
+		}
+		res, err := r.Net.Send(legSrc, legDst, payload, simCfg)
+		if err != nil {
+			out.Delivered = false
+			out.Legs = append(out.Legs, Leg{Region: rid, Src: legSrc, Dst: legDst})
+			return out, nil // routing failure inside a region is a delivery failure, not an API error
+		}
+		leg := Leg{Region: rid, Src: legSrc, Dst: legDst, Delivered: res.Sim.Delivered, Sim: res.Sim}
+		out.Legs = append(out.Legs, leg)
+		out.TotalBroadcasts += res.Sim.Broadcasts
+		if !res.Sim.Delivered {
+			out.Delivered = false
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// EndToEndLatency estimates total delivery latency: mesh legs plus links.
+func (r SendResult) EndToEndLatency() float64 {
+	t := r.LinkLatency
+	for _, leg := range r.Legs {
+		if leg.Delivered {
+			t += leg.Sim.DeliveryTime
+		}
+	}
+	return t
+}
+
+// FailLink marks links between two regions as down (failure injection) and
+// returns how many links changed state.
+func (in *Internetwork) FailLink(a, b RegionID, down bool) int {
+	n := 0
+	for i := range in.links {
+		l := &in.links[i]
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			if l.Down != down {
+				l.Down = down
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Regions returns the registered region count.
+func (in *Internetwork) Regions() int { return len(in.regions) }
+
+// Links returns a copy of the link table.
+func (in *Internetwork) Links() []Link { return append([]Link(nil), in.links...) }

@@ -1,0 +1,261 @@
+package internetwork
+
+import (
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/sim"
+)
+
+func region(t testing.TB, id RegionID, seed int64) *Region {
+	t.Helper()
+	n, err := core.FromSpec(citygen.SmallTestSpec(seed), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateway: a building in the biggest mesh island so legs can deliver.
+	gw := 0
+	best := -1
+	islands := n.Mesh.Islands()
+	if len(islands) > 0 {
+		for b := 0; b < n.City.NumBuildings(); b++ {
+			aps := n.Mesh.APsInBuilding(b)
+			if len(aps) == 0 {
+				continue
+			}
+			if n.Mesh.ComponentOf(int(aps[0])) == islands[0].Component {
+				gw = b
+				best = b
+				break
+			}
+		}
+	}
+	_ = best
+	return &Region{ID: id, Net: n, Gateway: gw}
+}
+
+func buildInternetwork(t testing.TB) (*Internetwork, *Region, *Region, *Region) {
+	t.Helper()
+	in := New()
+	ra := region(t, "boston", 211)
+	rb := region(t, "providence", 212)
+	rc := region(t, "worcester", 213)
+	for _, r := range []*Region{ra, rb, rc} {
+		if err := in.AddRegion(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// boston <-fiber-> worcester <-satellite-> providence
+	if err := in.AddLink(Link{A: "boston", B: "worcester", Kind: LinkFiber}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AddLink(Link{A: "worcester", B: "providence", Kind: LinkSatellite}); err != nil {
+		t.Fatal(err)
+	}
+	return in, ra, rb, rc
+}
+
+func TestAddValidation(t *testing.T) {
+	in := New()
+	if err := in.AddRegion(nil); err == nil {
+		t.Error("nil region accepted")
+	}
+	r := region(t, "x", 214)
+	if err := in.AddRegion(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.AddRegion(r); err == nil {
+		t.Error("duplicate region accepted")
+	}
+	bad := region(t, "y", 215)
+	bad.Gateway = 1 << 20
+	if err := in.AddRegion(bad); err == nil {
+		t.Error("out-of-range gateway accepted")
+	}
+	if err := in.AddLink(Link{A: "x", B: "nope"}); err == nil {
+		t.Error("link to unknown region accepted")
+	}
+	if err := in.AddLink(Link{A: "x", B: "x"}); err == nil {
+		t.Error("self link accepted")
+	}
+}
+
+func TestRegionPath(t *testing.T) {
+	in, _, _, _ := buildInternetwork(t)
+	path, latency, err := in.RegionPath("boston", "providence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RegionID{"boston", "worcester", "providence"}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if latency < 0.6 { // satellite leg dominates
+		t.Errorf("latency = %v", latency)
+	}
+	// Same region: trivial path.
+	p, l, err := in.RegionPath("boston", "boston")
+	if err != nil || len(p) != 1 || l != 0 {
+		t.Errorf("self path = %v, %v, %v", p, l, err)
+	}
+	if _, _, err := in.RegionPath("boston", "nowhere"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestRegionPathPrefersLowLatency(t *testing.T) {
+	in, _, _, _ := buildInternetwork(t)
+	// Add a direct satellite boston<->providence; the two-hop
+	// fiber+satellite path costs 0.61, the direct satellite 0.6 — direct
+	// wins.
+	if err := in.AddLink(Link{A: "boston", B: "providence", Kind: LinkSatellite}); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := in.RegionPath("boston", "providence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Errorf("path = %v, want direct", path)
+	}
+}
+
+func TestFailLinkReroutesOrPartitions(t *testing.T) {
+	in, _, _, _ := buildInternetwork(t)
+	if n := in.FailLink("worcester", "providence", true); n != 1 {
+		t.Fatalf("failed %d links", n)
+	}
+	if _, _, err := in.RegionPath("boston", "providence"); err == nil {
+		t.Error("partitioned inter-network still routes")
+	}
+	// Restore.
+	if n := in.FailLink("worcester", "providence", false); n != 1 {
+		t.Fatalf("restored %d links", n)
+	}
+	if _, _, err := in.RegionPath("boston", "providence"); err != nil {
+		t.Errorf("restored path: %v", err)
+	}
+}
+
+func TestInterRegionSend(t *testing.T) {
+	in, ra, rb, _ := buildInternetwork(t)
+
+	// Find a source building in boston reachable from its gateway, and a
+	// destination in providence reachable from its gateway.
+	pick := func(r *Region) int {
+		for _, p := range r.Net.RandomPairs(3, 200) {
+			b := p[0]
+			if b == r.Gateway || !r.Net.Reachable(b, r.Gateway) {
+				continue
+			}
+			if _, err := r.Net.PlanRoute(b, r.Gateway); err == nil {
+				return b
+			}
+		}
+		t.Skip("no gateway-reachable building")
+		return -1
+	}
+	srcB := pick(ra)
+	dstB := pick(rb)
+
+	res, err := in.Send(
+		Address{Region: "boston", Building: srcB},
+		Address{Region: "providence", Building: dstB},
+		[]byte("inter-city hello"), sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RegionPath) != 3 {
+		t.Fatalf("region path = %v", res.RegionPath)
+	}
+	if res.Delivered {
+		if len(res.Legs) != 3 {
+			t.Fatalf("delivered with %d legs", len(res.Legs))
+		}
+		// The transit region (worcester) is a passthrough leg.
+		if res.Legs[1].Src != res.Legs[1].Dst {
+			t.Error("transit leg should be gateway passthrough")
+		}
+		if res.TotalBroadcasts == 0 {
+			t.Error("delivered with no broadcasts")
+		}
+		if res.EndToEndLatency() < res.LinkLatency {
+			t.Error("latency must include link latency")
+		}
+	} else {
+		// A mesh leg failed: Send stops at the failing leg.
+		if len(res.Legs) == 0 || res.Legs[len(res.Legs)-1].Delivered {
+			t.Errorf("failed send must end at an undelivered leg: %+v", res.Legs)
+		}
+		t.Logf("end-to-end delivery failed at leg %d of %d (acceptable: per-leg deliverability < 1)",
+			len(res.Legs), len(res.RegionPath))
+	}
+}
+
+func TestSendSameRegion(t *testing.T) {
+	in, ra, _, _ := buildInternetwork(t)
+	var src, dst int
+	found := false
+	for _, p := range ra.Net.RandomPairs(9, 200) {
+		if ra.Net.Reachable(p[0], p[1]) {
+			if _, err := ra.Net.PlanRoute(p[0], p[1]); err == nil {
+				src, dst = p[0], p[1]
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Skip("no pair")
+	}
+	res, err := in.Send(
+		Address{Region: "boston", Building: src},
+		Address{Region: "boston", Building: dst},
+		nil, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RegionPath) != 1 || res.LinkLatency != 0 {
+		t.Errorf("same-region path = %v, latency %v", res.RegionPath, res.LinkLatency)
+	}
+}
+
+func TestSendUnknownRegion(t *testing.T) {
+	in, _, _, _ := buildInternetwork(t)
+	if _, err := in.Send(Address{Region: "mars"}, Address{Region: "boston"}, nil, sim.DefaultConfig()); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestLinkKindString(t *testing.T) {
+	for k, want := range map[LinkKind]string{
+		LinkSatellite: "satellite", LinkFiber: "fiber",
+		LinkHFRadio: "hf-radio", LinkKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q", k, k.String())
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	in, ra, _, _ := buildInternetwork(t)
+	if in.Regions() != 3 {
+		t.Errorf("Regions = %d", in.Regions())
+	}
+	if len(in.Links()) != 2 {
+		t.Errorf("Links = %d", len(in.Links()))
+	}
+	if r, ok := in.Region("boston"); !ok || r != ra {
+		t.Error("Region lookup failed")
+	}
+	if _, ok := in.Region("nope"); ok {
+		t.Error("unknown region resolved")
+	}
+}

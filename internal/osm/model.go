@@ -1,0 +1,166 @@
+// Package osm implements the subset of the OpenStreetMap data model and XML
+// format that CityMesh needs: nodes, ways, relations and tags, plus
+// extraction of typed geographic features (buildings, water, parks,
+// highways) into planar footprints.
+//
+// The paper compiles building footprint data from OSM (§4); this package is
+// the real pipeline for that. Because this module is offline, the companion
+// package citygen synthesizes OSM documents for the evaluation, and the
+// parser/writer are validated by round-tripping them.
+package osm
+
+import (
+	"sort"
+
+	"citymesh/internal/geo"
+)
+
+// ID is an OSM element identifier.
+type ID int64
+
+// Tags is an element's key-value tag set.
+type Tags map[string]string
+
+// Get returns the value for key, or "" when absent.
+func (t Tags) Get(key string) string { return t[key] }
+
+// Has reports whether key is present with a non-empty value.
+func (t Tags) Has(key string) bool { return t[key] != "" }
+
+// Keys returns the tag keys in sorted order (for deterministic output).
+func (t Tags) Keys() []string {
+	ks := make([]string, 0, len(t))
+	for k := range t {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Node is an OSM node: a tagged coordinate.
+type Node struct {
+	ID   ID
+	Pos  geo.LatLon
+	Tags Tags
+}
+
+// Way is an OSM way: an ordered list of node references. A way whose first
+// and last refs coincide is closed and may describe an area.
+type Way struct {
+	ID   ID
+	Refs []ID
+	Tags Tags
+}
+
+// IsClosed reports whether the way forms a closed ring.
+func (w *Way) IsClosed() bool {
+	return len(w.Refs) >= 4 && w.Refs[0] == w.Refs[len(w.Refs)-1]
+}
+
+// Member is one member of a relation.
+type Member struct {
+	Type string // "node", "way" or "relation"
+	Ref  ID
+	Role string
+}
+
+// Relation is an OSM relation.
+type Relation struct {
+	ID      ID
+	Members []Member
+	Tags    Tags
+}
+
+// Document is a parsed OSM file.
+type Document struct {
+	Bounds    *geo.Rect // planar bounds after projection; nil until Project
+	MinLat    float64
+	MinLon    float64
+	MaxLat    float64
+	MaxLon    float64
+	HasBounds bool
+
+	Nodes     map[ID]*Node
+	Ways      map[ID]*Way
+	Relations map[ID]*Relation
+}
+
+// NewDocument returns an empty document.
+func NewDocument() *Document {
+	return &Document{
+		Nodes:     make(map[ID]*Node),
+		Ways:      make(map[ID]*Way),
+		Relations: make(map[ID]*Relation),
+	}
+}
+
+// AddNode inserts n, replacing any node with the same ID.
+func (d *Document) AddNode(n *Node) { d.Nodes[n.ID] = n }
+
+// AddWay inserts w, replacing any way with the same ID.
+func (d *Document) AddWay(w *Way) { d.Ways[w.ID] = w }
+
+// AddRelation inserts r, replacing any relation with the same ID.
+func (d *Document) AddRelation(r *Relation) { d.Relations[r.ID] = r }
+
+// Center returns the document's coordinate center: the declared bounds
+// center when present, otherwise the mean of all node coordinates.
+func (d *Document) Center() geo.LatLon {
+	if d.HasBounds {
+		return geo.LatLon{Lat: (d.MinLat + d.MaxLat) / 2, Lon: (d.MinLon + d.MaxLon) / 2}
+	}
+	var lat, lon float64
+	n := 0
+	for _, nd := range d.Nodes {
+		lat += nd.Pos.Lat
+		lon += nd.Pos.Lon
+		n++
+	}
+	if n == 0 {
+		return geo.LatLon{}
+	}
+	return geo.LatLon{Lat: lat / float64(n), Lon: lon / float64(n)}
+}
+
+// WayPolygon resolves a closed way into a planar polygon using proj,
+// dropping the duplicated closing vertex. It returns nil if the way is not
+// closed or references missing nodes.
+func (d *Document) WayPolygon(w *Way, proj *geo.Projection) geo.Polygon {
+	if !w.IsClosed() {
+		return nil
+	}
+	pg := make(geo.Polygon, 0, len(w.Refs)-1)
+	for _, ref := range w.Refs[:len(w.Refs)-1] {
+		n, ok := d.Nodes[ref]
+		if !ok {
+			return nil
+		}
+		pg = append(pg, proj.ToPlane(n.Pos))
+	}
+	return pg
+}
+
+// WayLine resolves any way into a planar polyline. It returns nil if any
+// referenced node is missing.
+func (d *Document) WayLine(w *Way, proj *geo.Projection) []geo.Point {
+	line := make([]geo.Point, 0, len(w.Refs))
+	for _, ref := range w.Refs {
+		n, ok := d.Nodes[ref]
+		if !ok {
+			return nil
+		}
+		line = append(line, proj.ToPlane(n.Pos))
+	}
+	return line
+}
+
+// SortedWayIDs returns way IDs in ascending order for deterministic
+// iteration.
+func (d *Document) SortedWayIDs() []ID {
+	ids := make([]ID, 0, len(d.Ways))
+	for id := range d.Ways {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

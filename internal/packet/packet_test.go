@@ -1,0 +1,382 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 14, 1<<14 - 1, 1 << 21, 1<<63 - 1, 1<<64 - 1}
+	for _, v := range vals {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		if err != nil || got != v || n != len(b) {
+			t.Errorf("round trip %d: got %d, n=%d, err=%v", v, got, n, err)
+		}
+		if len(b) != UvarintLen(v) {
+			t.Errorf("UvarintLen(%d) = %d, encoded %d", v, UvarintLen(v), len(b))
+		}
+	}
+}
+
+func TestVarintErrors(t *testing.T) {
+	if _, _, err := Uvarint(nil); err != ErrShortBuffer {
+		t.Errorf("empty = %v", err)
+	}
+	if _, _, err := Uvarint([]byte{0x80, 0x80}); err != ErrShortBuffer {
+		t.Errorf("truncated = %v", err)
+	}
+	// 11 continuation bytes overflow 64 bits.
+	over := bytes.Repeat([]byte{0xff}, 10)
+	over = append(over, 0x01)
+	if _, _, err := Uvarint(over); err != ErrVarintOverflow {
+		t.Errorf("overflow = %v", err)
+	}
+}
+
+func TestZigZag(t *testing.T) {
+	cases := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4, 63: 126, -64: 127}
+	for v, want := range cases {
+		if got := ZigZag(v); got != want {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, want)
+		}
+		if back := UnZigZag(want); back != v {
+			t.Errorf("UnZigZag(%d) = %d, want %d", want, back, v)
+		}
+	}
+}
+
+func TestQuickZigZagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		b := AppendUvarint(nil, v)
+		got, n, err := Uvarint(b)
+		return err == nil && got == v && n == len(b) && n == UvarintLen(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func samplePacket() *Packet {
+	return &Packet{
+		Header: Header{
+			Flags:     FlagPostbox | FlagEncrypted,
+			TTL:       64,
+			MsgID:     0xdeadbeefcafef00d,
+			Width:     50,
+			Waypoints: []uint32{1042, 1107, 980, 2044, 2050},
+			Postbox:   [8]byte{1, 2, 3, 4, 5, 6, 7, 8},
+		},
+		Payload: []byte("hello bob, are you safe?"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := samplePacket()
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.Flags != p.Header.Flags || q.Header.TTL != p.Header.TTL ||
+		q.Header.MsgID != p.Header.MsgID || q.Header.Width != p.Header.Width {
+		t.Errorf("header mismatch: %+v vs %+v", q.Header, p.Header)
+	}
+	if len(q.Header.Waypoints) != len(p.Header.Waypoints) {
+		t.Fatalf("waypoints = %v", q.Header.Waypoints)
+	}
+	for i := range p.Header.Waypoints {
+		if q.Header.Waypoints[i] != p.Header.Waypoints[i] {
+			t.Fatalf("waypoint %d: %d != %d", i, q.Header.Waypoints[i], p.Header.Waypoints[i])
+		}
+	}
+	if q.Header.Postbox != p.Header.Postbox {
+		t.Error("postbox mismatch")
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Errorf("payload = %q", q.Payload)
+	}
+}
+
+func TestEncodeNoPostbox(t *testing.T) {
+	p := samplePacket()
+	p.Header.Flags = 0
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.Postbox != [8]byte{} {
+		t.Error("postbox should be zero without FlagPostbox")
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Error("payload mismatch")
+	}
+	// The postbox-free header is 8 bytes shorter.
+	withPB := samplePacket()
+	if withPB.Header.EncodedLen()-p.Header.EncodedLen() != PostboxAddrLen {
+		t.Error("EncodedLen does not account for postbox flag")
+	}
+}
+
+func TestEncodedLenMatchesWire(t *testing.T) {
+	p := samplePacket()
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Header.EncodedLen() + len(p.Payload) + 4 // + CRC
+	if len(wire) != want {
+		t.Errorf("wire = %d bytes, EncodedLen predicts %d", len(wire), want)
+	}
+	if p.Header.HeaderBits() != 8*p.Header.EncodedLen() {
+		t.Error("HeaderBits inconsistent")
+	}
+	if p.Header.RouteBits() >= p.Header.HeaderBits() {
+		t.Error("route must be a strict subset of the header")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	p := samplePacket()
+	wire, _ := p.Encode(nil)
+
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil buffer should error")
+	}
+	if _, err := Decode(wire[:3]); err == nil {
+		t.Error("tiny buffer should error")
+	}
+	// Flip a bit: CRC must catch it.
+	bad := append([]byte(nil), wire...)
+	bad[5] ^= 0x40
+	if _, err := Decode(bad); err == nil {
+		t.Error("corrupted frame should fail CRC")
+	}
+	// Bad magic with recomputed CRC.
+	bad2 := append([]byte(nil), wire...)
+	bad2[0] = 0x00
+	bad2 = recrc(bad2)
+	if _, err := Decode(bad2); err == nil {
+		t.Error("bad magic should error")
+	}
+	// Bad version.
+	bad3 := append([]byte(nil), wire...)
+	bad3[1] = (9 << 4) | (bad3[1] & 0x0f)
+	bad3 = recrc(bad3)
+	if _, err := Decode(bad3); err == nil {
+		t.Error("bad version should error")
+	}
+}
+
+// recrc recomputes the trailing CRC after mutation.
+func recrc(frame []byte) []byte {
+	body := frame[:len(frame)-4]
+	out := append([]byte(nil), body...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+}
+
+func TestEncodeErrors(t *testing.T) {
+	p := &Packet{}
+	if _, err := p.Encode(nil); err == nil {
+		t.Error("no waypoints should error")
+	}
+	p.Header.Waypoints = make([]uint32, MaxWaypoints+1)
+	if _, err := p.Encode(nil); err == nil {
+		t.Error("too many waypoints should error")
+	}
+}
+
+func TestSrcDstWidth(t *testing.T) {
+	h := Header{Waypoints: []uint32{5, 9, 12}}
+	if h.Src() != 5 || h.Dst() != 12 {
+		t.Errorf("src/dst = %d/%d", h.Src(), h.Dst())
+	}
+	if h.WidthMeters() != 50 {
+		t.Errorf("default width = %v", h.WidthMeters())
+	}
+	h.Width = 80
+	if h.WidthMeters() != 80 {
+		t.Errorf("width = %v", h.WidthMeters())
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket()
+	q := p.Clone()
+	q.Header.Waypoints[0] = 9999
+	q.Payload[0] = 'X'
+	if p.Header.Waypoints[0] == 9999 || p.Payload[0] == 'X' {
+		t.Error("Clone aliases original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := samplePacket().String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: any header with valid waypoints round-trips.
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		wps := make([]uint32, n)
+		for i := range wps {
+			wps[i] = uint32(rng.Intn(1 << 20))
+		}
+		p := &Packet{
+			Header: Header{
+				Flags:     uint8(rng.Intn(8)),
+				TTL:       uint8(rng.Intn(256)),
+				MsgID:     rng.Uint64(),
+				Width:     uint8(rng.Intn(200)),
+				Waypoints: wps,
+			},
+			Payload: make([]byte, rng.Intn(100)),
+		}
+		rng.Read(p.Payload)
+		rng.Read(p.Header.Postbox[:])
+		wire, err := p.Encode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode trial %d: %v", trial, err)
+		}
+		for i := range wps {
+			if q.Header.Waypoints[i] != wps[i] {
+				t.Fatalf("trial %d waypoint %d mismatch", trial, i)
+			}
+		}
+		if !bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("trial %d payload mismatch", trial)
+		}
+	}
+}
+
+// Delta encoding must beat or match raw encoding for spatially local routes.
+func TestDeltaEncodingCompact(t *testing.T) {
+	local := Header{Waypoints: []uint32{100000, 100012, 99990, 100031}}
+	spread := Header{Waypoints: []uint32{100000, 400000, 50000, 900000}}
+	if local.RouteBits() >= spread.RouteBits() {
+		t.Errorf("local route %d bits >= spread route %d bits",
+			local.RouteBits(), spread.RouteBits())
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if _, err := p.Encode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire, _ := samplePacket().Encode(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGeocastRoundTrip(t *testing.T) {
+	p := samplePacket()
+	p.Header.Flags |= FlagGeocast
+	p.Header.Target = GeocastArea{CenterX: -1250, CenterY: 2040, Radius: 300}
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.Target != p.Header.Target {
+		t.Errorf("target = %+v, want %+v", q.Header.Target, p.Header.Target)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Error("payload mismatch with geocast header")
+	}
+	// EncodedLen accounts for the geocast fields.
+	noGeo := samplePacket()
+	if p.Header.EncodedLen() <= noGeo.Header.EncodedLen() {
+		t.Error("geocast header should be larger")
+	}
+	if len(wire) != p.Header.EncodedLen()+len(p.Payload)+4 {
+		t.Errorf("wire %d != predicted %d", len(wire), p.Header.EncodedLen()+len(p.Payload)+4)
+	}
+}
+
+func TestGeocastAbsentWhenFlagClear(t *testing.T) {
+	p := samplePacket()
+	p.Header.Target = GeocastArea{CenterX: 99, CenterY: 99, Radius: 99}
+	// Flag not set: target is not encoded and decodes as zero.
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Header.Target != (GeocastArea{}) {
+		t.Errorf("unflagged target decoded as %+v", q.Header.Target)
+	}
+}
+
+// Property: Decode never panics and never returns a malformed packet on
+// arbitrary byte strings or random mutations of valid frames.
+func TestQuickDecodeRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	valid, _ := samplePacket().Encode(nil)
+	for trial := 0; trial < 2000; trial++ {
+		var buf []byte
+		if trial%2 == 0 {
+			buf = make([]byte, rng.Intn(80))
+			rng.Read(buf)
+		} else {
+			buf = append([]byte(nil), valid...)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				buf[rng.Intn(len(buf))] ^= byte(1 << rng.Intn(8))
+			}
+		}
+		p, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		// Rarely a mutation keeps the CRC valid; the result must still be
+		// structurally sound.
+		if len(p.Header.Waypoints) == 0 || len(p.Header.Waypoints) > MaxWaypoints {
+			t.Fatalf("decoded malformed packet: %+v", p.Header)
+		}
+	}
+}

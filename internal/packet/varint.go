@@ -1,0 +1,66 @@
+// Package packet defines the CityMesh wire format.
+//
+// A CityMesh packet carries everything an AP needs for its stateless
+// rebroadcast decision: the compressed building route (waypoint building
+// IDs), the conduit width, a TTL and a duplicate-suppression message ID —
+// plus an optional postbox address and the payload. The header is designed
+// for compactness because every bit is rebroadcast many times; the paper
+// reports a median compressed header of 175 bits (§4). Waypoint IDs are
+// delta-encoded with zigzag varints, exploiting the spatial locality of
+// dense building indices.
+package packet
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrVarintOverflow is returned when a varint does not terminate within the
+// 64-bit range.
+var ErrVarintOverflow = errors.New("packet: varint overflows 64 bits")
+
+// ErrShortBuffer is returned when a decode runs out of bytes.
+var ErrShortBuffer = errors.New("packet: short buffer")
+
+// AppendUvarint appends the LEB128 encoding of v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// Uvarint decodes a LEB128 value from b, returning the value and the number
+// of bytes consumed.
+func Uvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if shift >= 64 || (shift == 63 && c > 1) {
+			return 0, 0, ErrVarintOverflow
+		}
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, ErrShortBuffer
+}
+
+// ZigZag maps a signed value to an unsigned one with small magnitudes near
+// zero: 0,-1,1,-2,2 → 0,1,2,3,4.
+func ZigZag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// UnZigZag is the inverse of ZigZag.
+func UnZigZag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	if v == 0 {
+		return 1
+	}
+	return (bits.Len64(v) + 6) / 7
+}

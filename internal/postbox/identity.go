@@ -1,0 +1,146 @@
+// Package postbox implements CityMesh's application substrate (§3):
+// postboxes that store-and-forward messages at the destination building's
+// APs, addressed by *self-certifying names* — each identifier is the hash
+// of the entity's public key exchanged out-of-band (the paper cites SFS
+// [42]) — so message and origin authenticity and confidentiality need no
+// real-time access to a certificate authority.
+//
+// A sealed message is encrypted to the recipient with an ephemeral X25519
+// agreement + AES-256-GCM and signed by the sender with Ed25519; the
+// signature is inside the ciphertext, hiding the sender from observers.
+package postbox
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// AddressLen is the truncated self-certifying address length in bytes. It
+// matches packet.PostboxAddrLen so an address embeds directly in a header.
+const AddressLen = 8
+
+// Address is a self-certifying name: the truncated SHA-256 of the owner's
+// public keys. Anyone holding the full public identity can verify that it
+// hashes to the address; no certificate authority is involved.
+type Address [AddressLen]byte
+
+// String returns the address as lowercase hex.
+func (a Address) String() string { return hex.EncodeToString(a[:]) }
+
+// Identity is a user's key pair set: Ed25519 for signatures, X25519 for
+// encryption key agreement.
+type Identity struct {
+	signKey ed25519.PrivateKey
+	dhKey   *ecdh.PrivateKey
+}
+
+// PublicIdentity is the shareable half of an Identity. It is what Bob hands
+// Alice out-of-band (the paper suggests a QR code) together with his
+// postbox building.
+type PublicIdentity struct {
+	SignPub ed25519.PublicKey
+	DHPub   *ecdh.PublicKey
+}
+
+// NewIdentity generates a fresh identity from the given entropy source.
+func NewIdentity(rand io.Reader) (*Identity, error) {
+	_, signKey, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: generate signing key: %w", err)
+	}
+	dhKey, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: generate DH key: %w", err)
+	}
+	return &Identity{signKey: signKey, dhKey: dhKey}, nil
+}
+
+// Public returns the shareable public identity.
+func (id *Identity) Public() PublicIdentity {
+	return PublicIdentity{
+		SignPub: id.signKey.Public().(ed25519.PublicKey),
+		DHPub:   id.dhKey.PublicKey(),
+	}
+}
+
+// Address returns the identity's self-certifying address.
+func (id *Identity) Address() Address { return id.Public().Address() }
+
+// Address derives the self-certifying address: truncated
+// SHA-256(signPub || dhPub).
+func (p PublicIdentity) Address() Address {
+	h := sha256.New()
+	h.Write(p.SignPub)
+	h.Write(p.DHPub.Bytes())
+	var a Address
+	copy(a[:], h.Sum(nil))
+	return a
+}
+
+// Verify reports whether the public identity hashes to the claimed
+// address — the self-certification check.
+func (p PublicIdentity) Verify(claimed Address) bool { return p.Address() == claimed }
+
+// Encode serializes the public identity (32-byte sign key + 32-byte DH key).
+func (p PublicIdentity) Encode() []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, p.SignPub...)
+	out = append(out, p.DHPub.Bytes()...)
+	return out
+}
+
+// DecodePublicIdentity parses the 64-byte encoding from Encode.
+func DecodePublicIdentity(b []byte) (PublicIdentity, error) {
+	if len(b) != 64 {
+		return PublicIdentity{}, fmt.Errorf("postbox: public identity must be 64 bytes, got %d", len(b))
+	}
+	dhPub, err := ecdh.X25519().NewPublicKey(b[32:64])
+	if err != nil {
+		return PublicIdentity{}, fmt.Errorf("postbox: bad DH key: %w", err)
+	}
+	return PublicIdentity{
+		SignPub: ed25519.PublicKey(append([]byte(nil), b[:32]...)),
+		DHPub:   dhPub,
+	}, nil
+}
+
+// PostboxInfo is everything Bob shares with Alice out-of-band (§3 step 1):
+// his public identity and the building that hosts his postbox.
+type PostboxInfo struct {
+	Identity PublicIdentity
+	Building int // dense building index of the postbox AP's building
+}
+
+// EncodePostboxInfo serializes info compactly (QR-code friendly: 68 bytes).
+func EncodePostboxInfo(info PostboxInfo) []byte {
+	out := info.Identity.Encode()
+	b := info.Building
+	out = append(out, byte(b>>24), byte(b>>16), byte(b>>8), byte(b))
+	return out
+}
+
+// DecodePostboxInfo parses EncodePostboxInfo output.
+func DecodePostboxInfo(b []byte) (PostboxInfo, error) {
+	if len(b) != 68 {
+		return PostboxInfo{}, fmt.Errorf("postbox: info must be 68 bytes, got %d", len(b))
+	}
+	pid, err := DecodePublicIdentity(b[:64])
+	if err != nil {
+		return PostboxInfo{}, err
+	}
+	building := int(b[64])<<24 | int(b[65])<<16 | int(b[66])<<8 | int(b[67])
+	return PostboxInfo{Identity: pid, Building: building}, nil
+}
+
+// Sign signs an application-level message with the identity's Ed25519 key
+// (used e.g. by the postbox retrieval protocol).
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.signKey, msg) }
+
+// VerifySig checks an application-level signature made by Sign.
+func (p PublicIdentity) VerifySig(msg, sig []byte) bool {
+	return ed25519.Verify(p.SignPub, msg, sig)
+}

@@ -1,0 +1,154 @@
+package postbox
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrDecrypt is returned when a sealed message cannot be opened: wrong
+// recipient, corruption, or tampering.
+var ErrDecrypt = errors.New("postbox: cannot decrypt sealed message")
+
+// ErrBadSignature is returned when the inner sender signature fails.
+var ErrBadSignature = errors.New("postbox: sender signature invalid")
+
+const (
+	ephKeyLen = 32
+	nonceLen  = 12
+	sigLen    = ed25519.SignatureSize
+	// sealOverhead is the fixed expansion of Seal beyond the plaintext.
+	sealOverhead = ephKeyLen + nonceLen + 64 /*sender pub*/ + sigLen + 16 /*GCM tag*/
+)
+
+// Seal encrypts plaintext from sender to the recipient public identity.
+//
+// Layout: ephemeralPub(32) | nonce(12) | AES-256-GCM ciphertext of
+// (senderPublicIdentity(64) | signature(64) | plaintext), where the
+// signature covers (ephemeralPub | recipientAddress | plaintext) and the
+// AEAD is additionally bound to the ephemeral key and recipient address via
+// associated data. The sender's identity travels inside the ciphertext, so
+// an observer learns only the recipient address already present in the
+// packet header.
+func Seal(rand io.Reader, sender *Identity, recipient PublicIdentity, plaintext []byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(recipient.DHPub)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: ECDH: %w", err)
+	}
+	rcptAddr := recipient.Address()
+	key := deriveKey(shared, eph.PublicKey().Bytes(), recipient.DHPub.Bytes())
+
+	var nonce [nonceLen]byte
+	if _, err := io.ReadFull(rand, nonce[:]); err != nil {
+		return nil, fmt.Errorf("postbox: nonce: %w", err)
+	}
+
+	signed := make([]byte, 0, ephKeyLen+AddressLen+len(plaintext))
+	signed = append(signed, eph.PublicKey().Bytes()...)
+	signed = append(signed, rcptAddr[:]...)
+	signed = append(signed, plaintext...)
+	sig := ed25519.Sign(sender.signKey, signed)
+
+	inner := make([]byte, 0, 64+sigLen+len(plaintext))
+	inner = append(inner, sender.Public().Encode()...)
+	inner = append(inner, sig...)
+	inner = append(inner, plaintext...)
+
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, ephKeyLen+nonceLen+len(inner)+16)
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce[:]...)
+	ad := associatedData(eph.PublicKey().Bytes(), rcptAddr)
+	out = aead.Seal(out, nonce[:], inner, ad)
+	return out, nil
+}
+
+// Open decrypts a sealed message addressed to recipient, verifies the inner
+// signature, and returns the plaintext and the sender's public identity.
+func Open(recipient *Identity, sealed []byte) ([]byte, PublicIdentity, error) {
+	if len(sealed) < sealOverhead {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	ephPubBytes := sealed[:ephKeyLen]
+	nonce := sealed[ephKeyLen : ephKeyLen+nonceLen]
+	ct := sealed[ephKeyLen+nonceLen:]
+
+	ephPub, err := ecdh.X25519().NewPublicKey(ephPubBytes)
+	if err != nil {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	shared, err := recipient.dhKey.ECDH(ephPub)
+	if err != nil {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	key := deriveKey(shared, ephPubBytes, recipient.dhKey.PublicKey().Bytes())
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, PublicIdentity{}, err
+	}
+	rcptAddr := recipient.Address()
+	inner, err := aead.Open(nil, nonce, ct, associatedData(ephPubBytes, rcptAddr))
+	if err != nil {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	if len(inner) < 64+sigLen {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	senderPub, err := DecodePublicIdentity(inner[:64])
+	if err != nil {
+		return nil, PublicIdentity{}, ErrDecrypt
+	}
+	sig := inner[64 : 64+sigLen]
+	plaintext := inner[64+sigLen:]
+
+	signed := make([]byte, 0, ephKeyLen+AddressLen+len(plaintext))
+	signed = append(signed, ephPubBytes...)
+	signed = append(signed, rcptAddr[:]...)
+	signed = append(signed, plaintext...)
+	if !ed25519.Verify(senderPub.SignPub, signed, sig) {
+		return nil, PublicIdentity{}, ErrBadSignature
+	}
+	return plaintext, senderPub, nil
+}
+
+// deriveKey hashes the ECDH shared secret with both public contributions
+// into an AES-256 key.
+func deriveKey(shared, ephPub, rcptPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("citymesh-postbox-v1"))
+	h.Write(shared)
+	h.Write(ephPub)
+	h.Write(rcptPub)
+	return h.Sum(nil)
+}
+
+func associatedData(ephPub []byte, rcpt Address) []byte {
+	ad := make([]byte, 0, len(ephPub)+AddressLen)
+	ad = append(ad, ephPub...)
+	ad = append(ad, rcpt[:]...)
+	return ad
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: AES: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("postbox: GCM: %w", err)
+	}
+	return aead, nil
+}

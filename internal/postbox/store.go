@@ -1,0 +1,187 @@
+package postbox
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StoredMessage is one message held by a postbox store.
+type StoredMessage struct {
+	// Seq is the store-assigned sequence number (monotonic per store).
+	Seq uint64
+	// To is the recipient address.
+	To Address
+	// Sealed is the encrypted message body (opaque to the store).
+	Sealed []byte
+	// Urgent requests push notification (packet.FlagUrgent).
+	Urgent bool
+	// StoredAt is the store's clock reading at acceptance.
+	StoredAt time.Time
+}
+
+// PushFunc is invoked for urgent messages when the recipient has a cached
+// location (§3 step 4 push notifications).
+type PushFunc func(msg StoredMessage, lastBuilding int)
+
+// Store is the message cache an AP runs for the postboxes it hosts. It is
+// safe for concurrent use (the agent receives packets from multiple
+// transports).
+type Store struct {
+	mu sync.Mutex
+	// clock is injectable for deterministic tests.
+	clock func() time.Time
+	// maxPerBox bounds memory per recipient; oldest messages are evicted.
+	maxPerBox int
+	// retention drops messages older than this on Expire.
+	retention time.Duration
+
+	seq   uint64
+	boxes map[Address][]StoredMessage
+	// lastSeen caches each recipient's last-known building, refreshed on
+	// every retrieval; it powers push notifications.
+	lastSeen map[Address]int
+	push     PushFunc
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithClock injects a clock (tests, simulations).
+func WithClock(clock func() time.Time) StoreOption {
+	return func(s *Store) { s.clock = clock }
+}
+
+// WithCapacity bounds the number of messages kept per postbox.
+func WithCapacity(n int) StoreOption {
+	return func(s *Store) { s.maxPerBox = n }
+}
+
+// WithRetention sets the maximum message age enforced by Expire.
+func WithRetention(d time.Duration) StoreOption {
+	return func(s *Store) { s.retention = d }
+}
+
+// WithPush registers the urgent-message push hook.
+func WithPush(fn PushFunc) StoreOption {
+	return func(s *Store) { s.push = fn }
+}
+
+// NewStore returns an empty store. Defaults: real clock, 1024 messages per
+// box, 72 h retention.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{
+		clock:     time.Now,
+		maxPerBox: 1024,
+		retention: 72 * time.Hour,
+		boxes:     make(map[Address][]StoredMessage),
+		lastSeen:  make(map[Address]int),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Put accepts a sealed message for the given recipient. If the message is
+// urgent and the recipient's location is cached, the push hook fires.
+func (s *Store) Put(to Address, sealed []byte, urgent bool) StoredMessage {
+	s.mu.Lock()
+	s.seq++
+	msg := StoredMessage{
+		Seq:      s.seq,
+		To:       to,
+		Sealed:   append([]byte(nil), sealed...),
+		Urgent:   urgent,
+		StoredAt: s.clock(),
+	}
+	box := append(s.boxes[to], msg)
+	if s.maxPerBox > 0 && len(box) > s.maxPerBox {
+		box = box[len(box)-s.maxPerBox:]
+	}
+	s.boxes[to] = box
+	push := s.push
+	last, hasLoc := s.lastSeen[to]
+	s.mu.Unlock()
+
+	if urgent && push != nil && hasLoc {
+		push(msg, last)
+	}
+	return msg
+}
+
+// Retrieve returns all messages for addr with Seq greater than afterSeq, in
+// order, and caches the caller's current building for push notifications
+// (§3: "Bob's postbox caches location updates from his device that it
+// receives whenever his device checks for new messages").
+func (s *Store) Retrieve(addr Address, afterSeq uint64, currentBuilding int) []StoredMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSeen[addr] = currentBuilding
+	box := s.boxes[addr]
+	i := sort.Search(len(box), func(i int) bool { return box[i].Seq > afterSeq })
+	if i >= len(box) {
+		return nil
+	}
+	out := make([]StoredMessage, len(box)-i)
+	copy(out, box[i:])
+	return out
+}
+
+// Ack removes messages for addr with Seq at or below seq (the device
+// confirmed receipt).
+func (s *Store) Ack(addr Address, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	box := s.boxes[addr]
+	i := sort.Search(len(box), func(i int) bool { return box[i].Seq > seq })
+	if i == 0 {
+		return
+	}
+	remaining := box[i:]
+	if len(remaining) == 0 {
+		delete(s.boxes, addr)
+		return
+	}
+	s.boxes[addr] = append([]StoredMessage(nil), remaining...)
+}
+
+// Expire drops messages older than the retention window. It returns the
+// number dropped.
+func (s *Store) Expire() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := s.clock().Add(-s.retention)
+	dropped := 0
+	for addr, box := range s.boxes {
+		i := 0
+		for i < len(box) && box[i].StoredAt.Before(cutoff) {
+			i++
+		}
+		if i == 0 {
+			continue
+		}
+		dropped += i
+		if i == len(box) {
+			delete(s.boxes, addr)
+		} else {
+			s.boxes[addr] = append([]StoredMessage(nil), box[i:]...)
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of messages currently held for addr.
+func (s *Store) Len(addr Address) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.boxes[addr])
+}
+
+// LastSeen returns the recipient's cached building, if any.
+func (s *Store) LastSeen(addr Address) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.lastSeen[addr]
+	return b, ok
+}

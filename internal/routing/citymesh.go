@@ -1,0 +1,173 @@
+// Package routing implements the forwarding policies the evaluation runs
+// inside the simulator: the CityMesh conduit policy (the paper's
+// contribution) and the comparison baselines — blind flooding, gossip
+// (probabilistic) flooding, and greedy geographic forwarding — plus an
+// AODV-style route-discovery cost model.
+package routing
+
+import (
+	"math"
+	"sync"
+
+	"citymesh/internal/conduit"
+	"citymesh/internal/geo"
+	"citymesh/internal/packet"
+	"citymesh/internal/sim"
+)
+
+// CityMesh is the paper's policy (§3 step 3): an AP rebroadcasts a packet
+// if and only if its *building* falls inside one of the conduits
+// reconstructed from the waypoint buildings in the packet header ("Only
+// APs in buildings that fall within the geographic area of the conduits
+// ... rebroadcast"; §4 confirms "currently all the APs within a building
+// rebroadcast" when explaining the 13x overhead). Relay APs outside any
+// building test their own position instead. The AP consults nothing but
+// its copy of the building map and the header — no routing tables, no
+// neighbor state.
+type CityMesh struct {
+	mu    sync.Mutex
+	cache map[uint64][]geo.OrientedRect // conduits per message ID
+}
+
+// NewCityMesh returns the conduit policy.
+func NewCityMesh() *CityMesh {
+	return &CityMesh{cache: make(map[uint64][]geo.OrientedRect)}
+}
+
+// Name implements sim.Policy.
+func (c *CityMesh) Name() string { return "citymesh" }
+
+// OnReceive implements sim.Policy.
+func (c *CityMesh) OnReceive(ctx *sim.Context, ap int, pkt *packet.Packet, from int) sim.Decision {
+	if from < 0 {
+		// Initial injection: the AP Alice's device submitted to always
+		// transmits (§3 step 3 — she "submits the message to CityMesh's
+		// network"), even if it sits at the edge of the first conduit.
+		return sim.Decision{Rebroadcast: true}
+	}
+	cs := c.conduits(ctx, pkt)
+	if cs == nil {
+		return sim.Decision{}
+	}
+	pos := ctx.Mesh.APs[ap].Pos
+	if b := ctx.Mesh.APs[ap].Building; b >= 0 && b < ctx.City.NumBuildings() {
+		pos = ctx.City.Buildings[b].Centroid
+	}
+	return sim.Decision{Rebroadcast: conduit.Contains(cs, pos)}
+}
+
+// conduits reconstructs (or fetches the per-message cached) conduit set,
+// exactly the computation each AP performs once per new packet.
+func (c *CityMesh) conduits(ctx *sim.Context, pkt *packet.Packet) []geo.OrientedRect {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs, ok := c.cache[pkt.Header.MsgID]; ok {
+		return cs
+	}
+	wps := make([]int, len(pkt.Header.Waypoints))
+	for i, w := range pkt.Header.Waypoints {
+		wps[i] = int(w)
+	}
+	r := conduit.Route{Waypoints: wps, Width: pkt.Header.WidthMeters()}
+	cs, err := r.Conduits(ctx.City)
+	if err != nil {
+		cs = nil
+	}
+	c.cache[pkt.Header.MsgID] = cs
+	return cs
+}
+
+// Flood is blind flooding: every AP rebroadcasts every new packet until the
+// TTL expires. It is the delivery-probability upper bound and the overhead
+// worst case.
+type Flood struct{}
+
+// Name implements sim.Policy.
+func (Flood) Name() string { return "flood" }
+
+// OnReceive implements sim.Policy.
+func (Flood) OnReceive(*sim.Context, int, *packet.Packet, int) sim.Decision {
+	return sim.Decision{Rebroadcast: true}
+}
+
+// Gossip rebroadcasts each new packet independently with probability P — a
+// classic broadcast-storm mitigation.
+type Gossip struct {
+	// P is the rebroadcast probability in (0, 1].
+	P float64
+}
+
+// Name implements sim.Policy.
+func (Gossip) Name() string { return "gossip" }
+
+// OnReceive implements sim.Policy.
+func (g Gossip) OnReceive(ctx *sim.Context, ap int, pkt *packet.Packet, from int) sim.Decision {
+	if from < 0 {
+		// The source always transmits.
+		return sim.Decision{Rebroadcast: true}
+	}
+	return sim.Decision{Rebroadcast: ctx.RNG.Float64() < g.P}
+}
+
+// GreedyGeo is greedy geographic forwarding (GPSR's greedy mode): each AP
+// unicasts to the neighbor closest to the destination building's centroid.
+// When no neighbor is strictly closer (a void), it optionally falls back to
+// the least-bad neighbor, relying on the engine's duplicate suppression to
+// avoid loops — a simplified stand-in for perimeter routing.
+//
+// Unlike CityMesh, this baseline assumes each AP knows its neighbors'
+// positions (the beacon overhead the paper's §5 criticizes is not charged
+// here, making the comparison conservative in the baseline's favor).
+type GreedyGeo struct {
+	// Fallback enables forwarding to the least-regressing neighbor at a
+	// void instead of dropping.
+	Fallback bool
+}
+
+// Name implements sim.Policy.
+func (g GreedyGeo) Name() string {
+	if g.Fallback {
+		return "greedy+fallback"
+	}
+	return "greedy"
+}
+
+// OnReceive implements sim.Policy.
+func (g GreedyGeo) OnReceive(ctx *sim.Context, ap int, pkt *packet.Packet, from int) sim.Decision {
+	dstPos := ctx.City.Buildings[ctx.Dst].Centroid
+	self := ctx.Mesh.APs[ap].Pos
+	selfD := self.Dist(dstPos)
+
+	best, bestD := -1, math.Inf(1)
+	second, secondD := -1, math.Inf(1)
+	ctx.Mesh.Neighbors(ap, func(n int) {
+		if n == from {
+			return // never bounce straight back
+		}
+		d := ctx.Mesh.APs[n].Pos.Dist(dstPos)
+		switch {
+		case d < bestD:
+			second, secondD = best, bestD
+			best, bestD = n, d
+		case d < secondD:
+			second, secondD = n, d
+		}
+	})
+	if best < 0 {
+		return sim.Decision{}
+	}
+	if bestD < selfD {
+		return sim.Decision{NextHops: []int32{int32(best)}}
+	}
+	if g.Fallback {
+		// Void: hand to the two least-bad neighbors; duplicate suppression
+		// at each AP bounds the wandering. This is a crude stand-in for
+		// perimeter routing, enough to show the void-recovery trade-off.
+		hops := []int32{int32(best)}
+		if second >= 0 {
+			hops = append(hops, int32(second))
+		}
+		return sim.Decision{NextHops: hops}
+	}
+	return sim.Decision{}
+}

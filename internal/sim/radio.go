@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RadioModel decides whether a transmission from one AP is received by
+// another — the simulator's PHY abstraction. The paper's preliminary
+// evaluation uses a symmetric unit-disk cutoff; §6 calls for higher
+// fidelity ("physical network characteristics such as wireless channel
+// congestion and interference"), which PathLossModel and the engine's
+// collision window approximate.
+type RadioModel interface {
+	Name() string
+	// ReceiveProb returns the probability that a frame sent over distance
+	// d meters is received, before interference.
+	ReceiveProb(d float64) float64
+	// MaxRange returns the distance beyond which ReceiveProb is zero; the
+	// engine uses it to bound neighbor queries.
+	MaxRange() float64
+}
+
+// UnitDisk is the paper's model: reception is certain within the cutoff
+// and impossible beyond it.
+type UnitDisk struct {
+	Range float64
+}
+
+// Name implements RadioModel.
+func (UnitDisk) Name() string { return "unitdisk" }
+
+// ReceiveProb implements RadioModel.
+func (u UnitDisk) ReceiveProb(d float64) float64 {
+	if d <= u.Range {
+		return 1
+	}
+	return 0
+}
+
+// MaxRange implements RadioModel.
+func (u UnitDisk) MaxRange() float64 { return u.Range }
+
+// PathLossModel is a log-distance path-loss abstraction: reception is
+// certain within ReliableRange, then the probability decays smoothly and
+// reaches zero at CutoffRange. The Exponent shapes the decay (2 =
+// free-space-like, 3-4 = urban clutter).
+type PathLossModel struct {
+	// ReliableRange is the distance within which reception is certain.
+	ReliableRange float64
+	// CutoffRange is the distance beyond which reception never happens.
+	CutoffRange float64
+	// Exponent shapes the decay between the two ranges.
+	Exponent float64
+}
+
+// DefaultPathLoss mirrors the paper's 50 m planning range with an urban
+// decay: certain to 35 m, impossible past 65 m.
+func DefaultPathLoss() PathLossModel {
+	return PathLossModel{ReliableRange: 35, CutoffRange: 65, Exponent: 3}
+}
+
+// Name implements RadioModel.
+func (PathLossModel) Name() string { return "pathloss" }
+
+// ReceiveProb implements RadioModel.
+func (m PathLossModel) ReceiveProb(d float64) float64 {
+	if d <= m.ReliableRange {
+		return 1
+	}
+	if d >= m.CutoffRange {
+		return 0
+	}
+	frac := (d - m.ReliableRange) / (m.CutoffRange - m.ReliableRange)
+	e := m.Exponent
+	if e <= 0 {
+		e = 3
+	}
+	return math.Pow(1-frac, e)
+}
+
+// MaxRange implements RadioModel.
+func (m PathLossModel) MaxRange() float64 { return m.CutoffRange }
+
+// receives samples a reception decision.
+func receives(model RadioModel, d float64, rng *rand.Rand) bool {
+	p := model.ReceiveProb(d)
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64() < p
+}

@@ -1,0 +1,319 @@
+// Package sim is the discrete-event network simulator behind the paper's
+// preliminary evaluation (§4). It propagates a single CityMesh packet
+// through the realized AP mesh: every transmission is an event, receptions
+// are subject to loss and AP failure injection, each AP suppresses
+// duplicates by message ID, and a pluggable forwarding policy decides
+// whether (and to whom) a receiving AP forwards.
+//
+// The engine is deterministic given a seed, and can record a full
+// transcript (who transmitted, who received without forwarding) for
+// rendering the paper's Figure 7.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"citymesh/internal/geo"
+	"citymesh/internal/mesh"
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+)
+
+// Decision is a policy's forwarding choice for a freshly received packet.
+type Decision struct {
+	// Rebroadcast requests a broadcast to every AP in range.
+	Rebroadcast bool
+	// NextHops requests unicast transmissions to specific neighbor APs
+	// (used by the unicast baselines such as greedy geographic routing).
+	NextHops []int32
+}
+
+// Context hands a policy everything it may legitimately consult. CityMesh
+// itself uses only the city map and the packet header; baselines may use
+// neighbor positions (geographic routing assumes position beacons).
+type Context struct {
+	City *osm.City
+	Mesh *mesh.Mesh
+	RNG  *rand.Rand
+	// Dst is the destination building index of the current packet.
+	Dst int
+}
+
+// Policy decides forwarding at each AP. OnReceive runs exactly once per
+// (AP, message): the engine suppresses duplicates before consulting it.
+type Policy interface {
+	Name() string
+	// OnReceive is called when AP ap first receives pkt from AP from
+	// (from == -1 for the initial injection at the source).
+	OnReceive(ctx *Context, ap int, pkt *packet.Packet, from int) Decision
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// TxDelay is the per-transmission latency in seconds.
+	TxDelay float64
+	// JitterMax bounds the uniform random delay added before each
+	// forwarding transmission, de-synchronizing rebroadcast storms.
+	JitterMax float64
+	// LossProb is the independent per-reception loss probability.
+	LossProb float64
+	// FailedAPs marks crashed APs: they neither receive nor forward.
+	FailedAPs map[int]bool
+	// Blackholes marks compromised APs (§1's security threat): they
+	// receive and silently consume frames — never forwarding and never
+	// counting as delivery — which is strictly harder to route around
+	// than a crashed AP whose silence at least leaves the channel clear.
+	Blackholes map[int]bool
+	// Radio selects the PHY model. nil uses the paper's unit-disk cutoff
+	// at the mesh's configured transmission range.
+	Radio RadioModel
+	// CollisionWindow approximates interference: when two frames arrive
+	// at the same AP within this many seconds, the later one is lost.
+	// Zero disables collisions (the paper's idealized setting).
+	CollisionWindow float64
+	// MaxEvents caps the event count as a runaway guard.
+	MaxEvents int
+	// Seed drives all randomness in the run.
+	Seed int64
+	// RecordTranscript enables per-AP reception/forwarding records.
+	RecordTranscript bool
+}
+
+// DefaultConfig returns the evaluation defaults: 1 ms transmissions with up
+// to 5 ms jitter, no loss, no failures.
+func DefaultConfig() Config {
+	return Config{TxDelay: 0.001, JitterMax: 0.005, MaxEvents: 5_000_000, Seed: 1}
+}
+
+// APRecord is an AP's role in one simulation, for transcripts.
+type APRecord struct {
+	Received    bool
+	Forwarded   bool
+	ReceiveTime float64
+	Hops        int
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Delivered reports whether any AP in the destination building
+	// received the packet.
+	Delivered bool
+	// DeliveryTime is the simulation time of first delivery.
+	DeliveryTime float64
+	// DeliveryHops is the transmission count along the first delivery path.
+	DeliveryHops int
+	// Broadcasts is the total number of transmissions (the numerator of
+	// the paper's transmission-overhead metric).
+	Broadcasts int
+	// Receptions counts successful packet receptions (including
+	// duplicates).
+	Receptions int
+	// APsReached counts distinct APs that received the packet.
+	APsReached int
+	// Transcript holds per-AP records when Config.RecordTranscript is set.
+	Transcript []APRecord
+	// SourceAP is the AP that injected the packet.
+	SourceAP int
+}
+
+// Overhead returns Broadcasts divided by the ideal minimum transmission
+// count (from mesh.MinTransmissions); the paper's overhead metric. It
+// returns 0 when ideal is 0.
+func (r Result) Overhead(ideal int) float64 {
+	if ideal <= 0 {
+		return 0
+	}
+	return float64(r.Broadcasts) / float64(ideal)
+}
+
+type evKind uint8
+
+const (
+	evTransmit evKind = iota // an AP broadcasts to all neighbors
+	evUnicast                // an AP transmits to one neighbor
+	evReceive                // a neighbor receives
+)
+
+type event struct {
+	t    float64
+	seq  int64 // FIFO tiebreak for determinism
+	kind evKind
+	ap   int // acting AP: transmitter for evTransmit/evUnicast, receiver for evReceive
+	peer int // evUnicast: target AP; evReceive: sending AP
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Run simulates the propagation of pkt, injected at the first AP of the
+// source building, until the event queue drains or MaxEvents is hit. The
+// destination building is taken from the packet header.
+func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Config) Result {
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 5_000_000
+	}
+	radio := cfg.Radio
+	if radio == nil {
+		radio = UnitDisk{Range: m.Cfg.Range}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := &Context{City: city, Mesh: m, RNG: rng, Dst: pkt.Header.Dst()}
+
+	res := Result{SourceAP: -1}
+	src := pkt.Header.Src()
+	dst := pkt.Header.Dst()
+	if src < 0 || src >= city.NumBuildings() || len(m.APsInBuilding(src)) == 0 {
+		return res
+	}
+	srcAP := int(m.APsInBuilding(src)[0])
+	res.SourceAP = srcAP
+
+	seen := make([]bool, m.NumAPs())
+	hops := make([]int, m.NumAPs())
+	ttl := make([]int, m.NumAPs())
+	if cfg.RecordTranscript {
+		res.Transcript = make([]APRecord, m.NumAPs())
+	}
+
+	h := &eventHeap{}
+	var seq int64
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(h, e)
+	}
+
+	inDst := make(map[int]bool)
+	for _, a := range m.APsInBuilding(dst) {
+		inDst[int(a)] = true
+	}
+
+	lastArrival := make([]float64, m.NumAPs())
+	for i := range lastArrival {
+		lastArrival[i] = math.Inf(-1)
+	}
+
+	// deliver marks a reception at AP ap.
+	deliver := func(ap, from int, t float64) {
+		// Interference approximation: a frame arriving hard on the heels
+		// of another at the same radio is lost in the collision.
+		if cfg.CollisionWindow > 0 && from >= 0 {
+			collided := t-lastArrival[ap] < cfg.CollisionWindow
+			lastArrival[ap] = t
+			if collided {
+				return
+			}
+		}
+		res.Receptions++
+		if seen[ap] {
+			return
+		}
+		seen[ap] = true
+		res.APsReached++
+		if from >= 0 {
+			hops[ap] = hops[from] + 1
+			ttl[ap] = ttl[from] - 1
+		} else {
+			hops[ap] = 0
+			ttl[ap] = int(pkt.Header.TTL)
+		}
+		if cfg.RecordTranscript {
+			res.Transcript[ap].Received = true
+			res.Transcript[ap].ReceiveTime = t
+			res.Transcript[ap].Hops = hops[ap]
+		}
+		if cfg.Blackholes[ap] {
+			// Compromised node: consume silently; no delivery, no forward.
+			return
+		}
+		if inDst[ap] && !res.Delivered {
+			res.Delivered = true
+			res.DeliveryTime = t
+			res.DeliveryHops = hops[ap]
+		}
+		if ttl[ap] <= 0 {
+			return
+		}
+		d := pol.OnReceive(ctx, ap, pkt, from)
+		if d.Rebroadcast {
+			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
+			if cfg.RecordTranscript {
+				res.Transcript[ap].Forwarded = true
+			}
+		}
+		for _, nh := range d.NextHops {
+			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evUnicast, ap: ap, peer: int(nh)})
+			if cfg.RecordTranscript {
+				res.Transcript[ap].Forwarded = true
+			}
+		}
+	}
+
+	// Inject at the source.
+	if !cfg.FailedAPs[srcAP] {
+		deliver(srcAP, -1, 0)
+	}
+
+	events := 0
+	for h.Len() > 0 && events < cfg.MaxEvents {
+		e := heap.Pop(h).(event)
+		events++
+		switch e.kind {
+		case evTransmit:
+			if cfg.FailedAPs[e.ap] {
+				continue
+			}
+			res.Broadcasts++
+			pos := m.APs[e.ap].Pos
+			m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
+				if n == e.ap || cfg.FailedAPs[n] {
+					return true
+				}
+				if !receives(radio, pos.Dist(p), rng) {
+					return true
+				}
+				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+					return true
+				}
+				push(event{t: e.t + cfg.TxDelay, kind: evReceive, ap: n, peer: e.ap})
+				return true
+			})
+		case evUnicast:
+			if cfg.FailedAPs[e.ap] {
+				continue
+			}
+			res.Broadcasts++
+			if cfg.FailedAPs[e.peer] {
+				continue
+			}
+			if !receives(radio, m.APs[e.ap].Pos.Dist(m.APs[e.peer].Pos), rng) {
+				continue
+			}
+			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+				continue
+			}
+			push(event{t: e.t + cfg.TxDelay, kind: evReceive, ap: e.peer, peer: e.ap})
+		case evReceive:
+			deliver(e.ap, e.peer, e.t)
+		}
+	}
+	return res
+}

@@ -1,0 +1,244 @@
+package svgrender
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"citymesh/internal/stats"
+)
+
+// The chart renderers produce the paper's data figures as standalone SVGs:
+// CDF line charts (Figures 1a/1b), distance-binned box plots (Figure 2) and
+// grouped bar charts (Figure 6). They are deliberately minimal — axes,
+// ticks, series, legend — with no external dependencies.
+
+// chartPalette cycles through series colors.
+var chartPalette = []string{"#2e86c1", "#c0392b", "#28b463", "#8e44ad", "#d68910", "#16a085", "#7f8c8d"}
+
+type chart struct {
+	w, h          float64
+	left, right   float64
+	top, bottom   float64
+	xMin, xMax    float64
+	yMin, yMax    float64
+	title         string
+	xLabel        string
+	yLabel        string
+	body          strings.Builder
+	legendEntries []string
+}
+
+func newChart(title, xLabel, yLabel string, xMin, xMax, yMin, yMax float64) *chart {
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+	return &chart{
+		w: 640, h: 420, left: 70, right: 24, top: 44, bottom: 52,
+		xMin: xMin, xMax: xMax, yMin: yMin, yMax: yMax,
+		title: title, xLabel: xLabel, yLabel: yLabel,
+	}
+}
+
+func (c *chart) px(x, y float64) (float64, float64) {
+	fx := (x - c.xMin) / (c.xMax - c.xMin)
+	fy := (y - c.yMin) / (c.yMax - c.yMin)
+	return c.left + fx*(c.w-c.left-c.right), c.h - c.bottom - fy*(c.h-c.top-c.bottom)
+}
+
+func (c *chart) line(x1, y1, x2, y2 float64, color string, width float64) {
+	px1, py1 := c.px(x1, y1)
+	px2, py2 := c.px(x2, y2)
+	fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="%.1f"/>`+"\n",
+		px1, py1, px2, py2, color, width)
+}
+
+func (c *chart) polyline(pts [][2]float64, color string) {
+	if len(pts) < 2 {
+		return
+	}
+	var sb strings.Builder
+	for i, p := range pts {
+		x, y := c.px(p[0], p[1])
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%.1f,%.1f", x, y)
+	}
+	fmt.Fprintf(&c.body, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", sb.String(), color)
+}
+
+func (c *chart) rect(x1, y1, x2, y2 float64, fill string, opacity float64) {
+	px1, py1 := c.px(x1, y2) // y flipped
+	px2, py2 := c.px(x2, y1)
+	fmt.Fprintf(&c.body, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+		px1, py1, math.Max(0.5, px2-px1), math.Max(0.5, py2-py1), fill, opacity)
+}
+
+func (c *chart) text(px, py, size float64, anchor, color, s string) {
+	fmt.Fprintf(&c.body, `<text x="%.1f" y="%.1f" font-size="%.0f" text-anchor="%s" fill="%s" font-family="sans-serif">%s</text>`+"\n",
+		px, py, size, anchor, color, escapeText(s))
+}
+
+func (c *chart) legend(name, color string) {
+	c.legendEntries = append(c.legendEntries, name+"\x00"+color)
+}
+
+// axes draws the frame, ticks and labels.
+func (c *chart) axes(xTicks, yTicks int) {
+	axisColor := "#555555"
+	c.line(c.xMin, c.yMin, c.xMax, c.yMin, axisColor, 1.2)
+	c.line(c.xMin, c.yMin, c.xMin, c.yMax, axisColor, 1.2)
+	for i := 0; i <= xTicks; i++ {
+		x := c.xMin + (c.xMax-c.xMin)*float64(i)/float64(xTicks)
+		px, py := c.px(x, c.yMin)
+		fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", px, py, px, py+4, axisColor)
+		c.text(px, py+18, 11, "middle", axisColor, trimFloat(x))
+	}
+	for i := 0; i <= yTicks; i++ {
+		y := c.yMin + (c.yMax-c.yMin)*float64(i)/float64(yTicks)
+		px, py := c.px(c.xMin, y)
+		fmt.Fprintf(&c.body, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s"/>`+"\n", px-4, py, px, py, axisColor)
+		c.text(px-8, py+4, 11, "end", axisColor, trimFloat(y))
+	}
+	c.text(c.w/2, 22, 15, "middle", "#222222", c.title)
+	c.text(c.w/2, c.h-12, 12, "middle", axisColor, c.xLabel)
+	fmt.Fprintf(&c.body, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" fill="%s" font-family="sans-serif" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		c.h/2, axisColor, c.h/2, escapeText(c.yLabel))
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+func (c *chart) writeTo(w io.Writer) error {
+	var out strings.Builder
+	fmt.Fprintf(&out, `<?xml version="1.0" encoding="UTF-8"?>`+"\n")
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", c.w, c.h, c.w, c.h)
+	out.WriteString(`<rect width="100%" height="100%" fill="#ffffff"/>` + "\n")
+	out.WriteString(c.body.String())
+	// Legend in the top-right corner.
+	for i, e := range c.legendEntries {
+		parts := strings.SplitN(e, "\x00", 2)
+		y := 40 + float64(i)*16
+		fmt.Fprintf(&out, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", c.w-150, y, parts[1])
+		fmt.Fprintf(&out, `<text x="%.1f" y="%.1f" font-size="11" fill="#333333" font-family="sans-serif">%s</text>`+"\n",
+			c.w-134, y+9, escapeText(parts[0]))
+	}
+	out.WriteString("</svg>\n")
+	_, err := io.WriteString(w, out.String())
+	return err
+}
+
+// CDFSeries is one named CDF curve.
+type CDFSeries struct {
+	Name string
+	CDF  *stats.CDF
+}
+
+// RenderCDFChart draws the paper's Figure 1 style chart: one CDF curve per
+// series.
+func RenderCDFChart(w io.Writer, title, xLabel string, series []CDFSeries) error {
+	xMax := 1.0
+	for _, s := range series {
+		if s.CDF.Len() > 0 && s.CDF.Max() > xMax {
+			xMax = s.CDF.Max()
+		}
+	}
+	c := newChart(title, xLabel, "CDF", 0, xMax, 0, 1)
+	c.axes(6, 5)
+	for i, s := range series {
+		if s.CDF.Len() == 0 {
+			continue
+		}
+		color := chartPalette[i%len(chartPalette)]
+		pts := s.CDF.Points(128)
+		// Anchor the curve at (min, 0).
+		pts = append([][2]float64{{s.CDF.Min(), 0}}, pts...)
+		c.polyline(pts, color)
+		c.legend(s.Name, color)
+	}
+	return c.writeTo(w)
+}
+
+// RenderBinnedBoxChart draws the paper's Figure 2 style chart: one box
+// (p25..p75, median line, p10/max whiskers) per distance bin.
+func RenderBinnedBoxChart(w io.Writer, title, xLabel, yLabel string, b *stats.Binned) error {
+	sums := b.Summaries()
+	if len(sums) == 0 {
+		return fmt.Errorf("svgrender: no bins to draw")
+	}
+	xMax := sums[len(sums)-1].Hi
+	yMax := 1.0
+	for _, s := range sums {
+		if s.Max > yMax {
+			yMax = s.Max
+		}
+	}
+	c := newChart(title, xLabel, yLabel, 0, xMax, 0, yMax*1.05)
+	c.axes(6, 5)
+	color := chartPalette[0]
+	for _, s := range sums {
+		mid := (s.Lo + s.Hi) / 2
+		half := (s.Hi - s.Lo) * 0.3
+		// Whiskers p10..max.
+		c.line(mid, s.P10, mid, s.Max, color, 1)
+		// Box p25..p75.
+		c.rect(mid-half, s.P25, mid+half, s.P75, color, 0.45)
+		// Median.
+		c.line(mid-half, s.P50, mid+half, s.P50, "#1b2631", 1.6)
+	}
+	return c.writeTo(w)
+}
+
+// BarGroup is one labeled group of bars (e.g. one city).
+type BarGroup struct {
+	Label  string
+	Values []float64 // one value per series
+}
+
+// RenderGroupedBarChart draws the paper's Figure 6 style chart: per-city
+// groups of bars, one bar per metric series.
+func RenderGroupedBarChart(w io.Writer, title string, seriesNames []string, groups []BarGroup, yMax float64) error {
+	if len(groups) == 0 || len(seriesNames) == 0 {
+		return fmt.Errorf("svgrender: nothing to draw")
+	}
+	if yMax <= 0 {
+		for _, g := range groups {
+			for _, v := range g.Values {
+				if v > yMax {
+					yMax = v
+				}
+			}
+		}
+		if yMax <= 0 {
+			yMax = 1
+		}
+	}
+	c := newChart(title, "", "", 0, float64(len(groups)), 0, yMax*1.05)
+	c.axes(0, 5)
+	barW := 0.8 / float64(len(seriesNames))
+	for gi, g := range groups {
+		for si := range seriesNames {
+			v := 0.0
+			if si < len(g.Values) {
+				v = g.Values[si]
+			}
+			x0 := float64(gi) + 0.1 + float64(si)*barW
+			c.rect(x0, 0, x0+barW*0.92, v, chartPalette[si%len(chartPalette)], 0.9)
+		}
+		px, py := c.px(float64(gi)+0.5, 0)
+		c.text(px, py+18, 11, "middle", "#555555", g.Label)
+	}
+	for si, name := range seriesNames {
+		c.legend(name, chartPalette[si%len(chartPalette)])
+	}
+	return c.writeTo(w)
+}

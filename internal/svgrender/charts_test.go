@@ -1,0 +1,105 @@
+package svgrender
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"citymesh/internal/stats"
+)
+
+func TestRenderCDFChart(t *testing.T) {
+	a := stats.NewCDF([]float64{1, 2, 3, 4, 5, 10, 20})
+	b := stats.NewCDF([]float64{5, 6, 7, 8, 9})
+	var buf bytes.Buffer
+	err := RenderCDFChart(&buf, "Figure 1a", "MACs per measurement", []CDFSeries{
+		{Name: "downtown", CDF: a},
+		{Name: "river", CDF: b},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{"<svg", "Figure 1a", "downtown", "river", "<polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Errorf("polylines = %d, want 2", strings.Count(svg, "<polyline"))
+	}
+	// Empty series are skipped without error.
+	buf.Reset()
+	if err := RenderCDFChart(&buf, "t", "x", []CDFSeries{{Name: "none", CDF: stats.NewCDF(nil)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderBinnedBoxChart(t *testing.T) {
+	b := stats.NewBinned(25)
+	for i := 0; i < 100; i++ {
+		b.Add(float64(i%4)*25+5, float64(100-i))
+	}
+	var buf bytes.Buffer
+	if err := RenderBinnedBoxChart(&buf, "Figure 2", "distance (m)", "common APs", b); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<rect") < 4 { // background + 4 boxes
+		t.Errorf("rects = %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "Figure 2") {
+		t.Error("title missing")
+	}
+	if err := RenderBinnedBoxChart(&buf, "t", "x", "y", stats.NewBinned(10)); err == nil {
+		t.Error("empty binned should error")
+	}
+}
+
+func TestRenderGroupedBarChart(t *testing.T) {
+	groups := []BarGroup{
+		{Label: "boston", Values: []float64{0.73, 0.64}},
+		{Label: "dc", Values: []float64{0.51, 0.90}},
+		{Label: "gridtown", Values: []float64{1.0, 0.94}},
+	}
+	var buf bytes.Buffer
+	if err := RenderGroupedBarChart(&buf, "Figure 6", []string{"reachability", "deliverability"}, groups, 1); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if strings.Count(svg, "<rect") < 7 { // background + 6 bars
+		t.Errorf("rects = %d", strings.Count(svg, "<rect"))
+	}
+	for _, want := range []string{"boston", "dc", "gridtown", "reachability"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if err := RenderGroupedBarChart(&buf, "t", nil, nil, 0); err == nil {
+		t.Error("empty chart should error")
+	}
+	// Auto y-max path and short Values slices must not panic.
+	buf.Reset()
+	if err := RenderGroupedBarChart(&buf, "t", []string{"a", "b"}, []BarGroup{{Label: "x", Values: []float64{2}}}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(5) != "5" || trimFloat(0.25) != "0.25" {
+		t.Errorf("trimFloat = %q, %q", trimFloat(5), trimFloat(0.25))
+	}
+}
+
+func TestChartDegenerateRanges(t *testing.T) {
+	// Equal min/max must not divide by zero.
+	c := newChart("t", "x", "y", 1, 1, 2, 2)
+	c.axes(2, 2)
+	var buf bytes.Buffer
+	if err := c.writeTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") {
+		t.Error("no output")
+	}
+}
