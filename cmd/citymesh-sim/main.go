@@ -1,20 +1,26 @@
-// Command citymesh-sim reproduces the paper's Figure 6: reachability,
-// deliverability and transmission overhead for each (synthetic) city, using
-// the full event-based simulation.
+// Command citymesh-sim reproduces the paper's Figure 6 — reachability,
+// deliverability and transmission overhead for each (synthetic) city — and,
+// with fault injection enabled, the disaster-scenario resilience sweep:
+// delivery rate versus failure fraction for plain conduit routing and for
+// the SendReliable escalation ladder (retry → widen → multipath → flood).
 //
 // Usage:
 //
 //	citymesh-sim [-cities boston,dc] [-reach-pairs 1000] [-deliver-pairs 50]
 //	             [-seed 1] [-scale 1.0] [-csv]
+//	citymesh-sim -fail-mode=uniform -fail-frac=0.1,0.3,0.5 -reliable
+//	citymesh-sim -cities=boston -fail-mode=flood -fail-frac=0.3 -reliable
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"citymesh/internal/experiments"
+	"citymesh/internal/faults"
 	"citymesh/internal/svgrender"
 )
 
@@ -27,8 +33,21 @@ func main() {
 		scale        = flag.Float64("scale", 1.0, "shrink city extents by this factor (0,1]")
 		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
 		svg          = flag.String("svg", "", "also render the Figure 6 bar chart to this SVG file")
+
+		failMode = flag.String("fail-mode", "", "fault injector: "+strings.Join(faults.Modes(), ", ")+
+			" (enables the resilience sweep)")
+		failFrac = flag.String("fail-frac", "0,0.1,0.2,0.3,0.4,0.5",
+			"comma-separated failure fractions to sweep")
+		reliable = flag.Bool("reliable", false,
+			"also run the SendReliable escalation ladder per pair (resilience sweep always reports both)")
+		pairs = flag.Int("pairs", 30, "building pairs per resilience cell")
 	)
 	flag.Parse()
+
+	if *failMode != "" && faults.Mode(*failMode) != faults.ModeNone {
+		runResilience(*cities, *failMode, *failFrac, *pairs, *seed, *scale, *csv, *reliable)
+		return
+	}
 
 	cfg := experiments.Figure6Config{
 		ReachPairs:   *reachPairs,
@@ -70,5 +89,45 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("wrote", f.Name())
+	}
+}
+
+// runResilience executes the fault-injection sweep. The -reliable flag is
+// accepted for CLI symmetry with the README examples; the sweep reports
+// plain and ladder delivery side by side either way.
+func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, csv, reliable bool) {
+	_ = reliable
+	var fracs []float64
+	for _, s := range strings.Split(fracsCSV, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f < 0 || f > 1 {
+			fmt.Fprintf(os.Stderr, "citymesh-sim: bad -fail-frac value %q\n", s)
+			os.Exit(2)
+		}
+		fracs = append(fracs, f)
+	}
+	cfg := experiments.ResilienceConfig{
+		Mode:  faults.Mode(mode),
+		Fracs: fracs,
+		Pairs: pairs,
+		Seed:  seed,
+		Scale: scale,
+	}
+	if cities != "" {
+		cfg.Cities = strings.Split(cities, ",")
+	}
+	rows, err := experiments.Resilience(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "citymesh-sim:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(experiments.ResilienceCSV(rows))
+	} else {
+		fmt.Print(experiments.ResilienceText(rows))
 	}
 }

@@ -41,7 +41,54 @@ type Config struct {
 	Building int
 	// City is the agent's cached building map.
 	City *osm.City
+	// DedupCap bounds the duplicate-suppression cache (number of message
+	// IDs remembered); 0 means DefaultDedupCap. APs run for months on
+	// 32 MB routers — the cache must not grow with traffic.
+	DedupCap int
 }
+
+// DefaultDedupCap is the default dedup cache bound: 64k message IDs is
+// ~1.5 MB of state, hours of city-scale traffic, yet fixed-size.
+const DefaultDedupCap = 64 << 10
+
+// dedupSet is a FIFO-evicting set of message IDs. Oldest entries are
+// forgotten first once the capacity is reached, which matches the traffic
+// pattern: a duplicate of a message arrives within its flood wave, not
+// hours later.
+type dedupSet struct {
+	cap  int
+	set  map[uint64]struct{}
+	ring []uint64
+	next int // ring slot the next insertion overwrites
+}
+
+func newDedupSet(capacity int) *dedupSet {
+	if capacity <= 0 {
+		capacity = DefaultDedupCap
+	}
+	return &dedupSet{
+		cap: capacity,
+		set: make(map[uint64]struct{}, capacity),
+	}
+}
+
+// insert adds id and reports whether it was already present.
+func (d *dedupSet) insert(id uint64) (dup bool) {
+	if _, ok := d.set[id]; ok {
+		return true
+	}
+	if len(d.ring) < d.cap {
+		d.ring = append(d.ring, id)
+	} else {
+		delete(d.set, d.ring[d.next])
+		d.ring[d.next] = id
+		d.next = (d.next + 1) % d.cap
+	}
+	d.set[id] = struct{}{}
+	return false
+}
+
+func (d *dedupSet) len() int { return len(d.set) }
 
 // Stats counts an agent's activity.
 type Stats struct {
@@ -59,7 +106,7 @@ type Agent struct {
 	store *postbox.Store
 
 	mu    sync.Mutex
-	seen  map[uint64]bool
+	seen  *dedupSet
 	stats Stats
 	// onDeliver fires when a packet for this agent's building arrives.
 	onDeliver func(*packet.Packet)
@@ -71,13 +118,24 @@ func New(cfg Config, tr Transport) *Agent {
 		cfg:   cfg,
 		tr:    tr,
 		store: postbox.NewStore(),
-		seen:  make(map[uint64]bool),
+		seen:  newDedupSet(cfg.DedupCap),
 	}
 }
 
 // Attach sets the transport after construction (the in-process hub needs
 // the agent before it can build the transport).
-func (a *Agent) Attach(tr Transport) { a.tr = tr }
+func (a *Agent) Attach(tr Transport) {
+	a.mu.Lock()
+	a.tr = tr
+	a.mu.Unlock()
+}
+
+// transport snapshots the transport under the lock.
+func (a *Agent) transport() Transport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tr
+}
 
 // Store exposes the agent's postbox store.
 func (a *Agent) Store() *postbox.Store { return a.store }
@@ -109,14 +167,15 @@ func (a *Agent) Inject(pkt *packet.Packet) error {
 		return fmt.Errorf("agent %d: inject: %w", a.cfg.ID, err)
 	}
 	a.mu.Lock()
-	a.seen[pkt.Header.MsgID] = true
+	a.seen.insert(pkt.Header.MsgID)
 	a.stats.Rebroadcast++
 	a.mu.Unlock()
 	a.maybeDeliver(pkt)
-	if a.tr == nil {
+	tr := a.transport()
+	if tr == nil {
 		return fmt.Errorf("agent %d: no transport", a.cfg.ID)
 	}
-	return a.tr.Broadcast(frame)
+	return tr.Broadcast(frame)
 }
 
 // HandleFrame processes one received frame: decode, dedup, deliver or
@@ -132,12 +191,11 @@ func (a *Agent) HandleFrame(frame []byte) {
 	}
 	a.mu.Lock()
 	a.stats.Received++
-	if a.seen[pkt.Header.MsgID] {
+	if a.seen.insert(pkt.Header.MsgID) {
 		a.stats.Duplicates++
 		a.mu.Unlock()
 		return
 	}
-	a.seen[pkt.Header.MsgID] = true
 	a.mu.Unlock()
 
 	a.maybeDeliver(pkt)
@@ -209,10 +267,11 @@ func (a *Agent) insideConduit(pkt *packet.Packet) bool {
 
 // Close shuts the transport down.
 func (a *Agent) Close() error {
-	if a.tr == nil {
+	tr := a.transport()
+	if tr == nil {
 		return nil
 	}
-	return a.tr.Close()
+	return tr.Close()
 }
 
 // Building returns the agent's building index.

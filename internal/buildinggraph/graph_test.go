@@ -1,0 +1,230 @@
+package buildinggraph
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/geo"
+	"citymesh/internal/osm"
+)
+
+// rowCity builds small square buildings at the given centroids.
+func rowCity(pts ...geo.Point) *osm.City {
+	city := &osm.City{Name: "row"}
+	for i, p := range pts {
+		fp := geo.Polygon{
+			p.Add(geo.Pt(-5, -5)), p.Add(geo.Pt(5, -5)),
+			p.Add(geo.Pt(5, 5)), p.Add(geo.Pt(-5, 5)),
+		}
+		city.Buildings = append(city.Buildings, &osm.Feature{
+			ID: osm.ID(i + 1), Kind: osm.KindBuilding,
+			Footprint: fp, Centroid: fp.Centroid(),
+		})
+	}
+	return city
+}
+
+func TestBuildEdgesWithinGap(t *testing.T) {
+	// Three buildings in a row, 40 m centroid spacing => 30 m gaps; the
+	// fourth is 200 m away and must be isolated.
+	city := rowCity(geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0), geo.Pt(280, 0))
+	g := Build(city, DefaultConfig())
+	if g.NumVertices() != 4 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want the two 30 m gaps only", g.NumEdges())
+	}
+	if g.Degree(3) != 0 {
+		t.Error("distant building should be isolated")
+	}
+}
+
+func TestShortestPathChain(t *testing.T) {
+	city := rowCity(geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0), geo.Pt(120, 0))
+	g := Build(city, DefaultConfig())
+	path, cost, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// Three hops of 30 m gap, cubed.
+	if wantCost := 3 * math.Pow(30, 3); math.Abs(cost-wantCost) > 1e-6 {
+		t.Errorf("cost = %v, want %v", cost, wantCost)
+	}
+}
+
+func TestCubedWeightsPreferShortHops(t *testing.T) {
+	// A detour of two 30 m gaps must beat one direct 42 m gap under cubed
+	// weights (42^3 > 2*30^3) even though it is longer in euclid terms.
+	city := rowCity(
+		geo.Pt(0, 0),   // 0: src
+		geo.Pt(52, 0),  // 1: dst, gap 42 from src (direct edge exists)
+		geo.Pt(26, 34), // 2: midpoint hop with ~30 m-ish gaps to both
+	)
+	g := Build(city, DefaultConfig())
+	if g.Degree(0) < 2 {
+		t.Skip("geometry did not produce both edges")
+	}
+	path, _, err := g.ShortestPath(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 || path[1] != 2 {
+		t.Errorf("path = %v, want the two-hop detour through 2", path)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	city := rowCity(geo.Pt(0, 0), geo.Pt(500, 0))
+	g := Build(city, DefaultConfig())
+	if _, _, err := g.ShortestPath(0, 1); !errors.Is(err, ErrNoPath) {
+		t.Errorf("disconnected pair: err = %v, want ErrNoPath", err)
+	}
+	if _, _, err := g.ShortestPath(-1, 0); err == nil {
+		t.Error("out-of-range src should error")
+	}
+	if _, _, err := g.ShortestPath(0, 99); err == nil {
+		t.Error("out-of-range dst should error")
+	}
+	path, cost, err := g.ShortestPath(1, 1)
+	if err != nil || len(path) != 1 || cost != 0 {
+		t.Errorf("self path = %v, %v, %v", path, cost, err)
+	}
+}
+
+func TestDiversePathsDisjointOnGrid(t *testing.T) {
+	// A 2x3 grid: two corridor choices between opposite corners. The
+	// penalized second path should avoid the first path's interior edges.
+	city := rowCity(
+		geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0),
+		geo.Pt(0, 40), geo.Pt(40, 40), geo.Pt(80, 40),
+	)
+	g := Build(city, DefaultConfig())
+	paths, err := g.DiversePaths(0, 5, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("paths = %v, want 2 diverse routes", paths)
+	}
+	// Interior vertices must differ between the two routes.
+	same := true
+	if len(paths[0]) != len(paths[1]) {
+		same = false
+	} else {
+		for i := range paths[0] {
+			if paths[0][i] != paths[1][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Errorf("diverse paths identical: %v", paths)
+	}
+}
+
+func TestDiversePathsFirstIsShortest(t *testing.T) {
+	plan, err := citygen.Generate(citygen.SmallTestSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	city := planCity(plan)
+	g := Build(city, DefaultConfig())
+	var tested int
+	for a := 0; a < g.NumVertices() && tested < 10; a += 7 {
+		b := g.NumVertices() - 1 - a
+		sp, cost, err := g.ShortestPath(a, b)
+		if err != nil || len(sp) < 3 {
+			continue
+		}
+		tested++
+		paths, err := g.DiversePaths(a, b, 3, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatal("no paths")
+		}
+		gotCost := pathCost(t, g, paths[0])
+		if math.Abs(gotCost-cost) > 1e-9 {
+			t.Errorf("first diverse path cost %v != shortest %v (path %v vs %v)",
+				gotCost, cost, paths[0], sp)
+		}
+	}
+	if tested == 0 {
+		t.Skip("no multi-hop pairs in test city")
+	}
+}
+
+func pathCost(t *testing.T, g *Graph, path []int) float64 {
+	t.Helper()
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		found := false
+		g.Neighbors(path[i], func(w int, gap float64) {
+			if w == path[i+1] {
+				found = true
+				wgt := gap
+				if wgt < g.cfg.MinWeight {
+					wgt = g.cfg.MinWeight
+				}
+				total += math.Pow(wgt, g.cfg.WeightExponent)
+			}
+		})
+		if !found {
+			t.Fatalf("path edge %d-%d not in graph", path[i], path[i+1])
+		}
+	}
+	return total
+}
+
+func TestNearestBuilding(t *testing.T) {
+	city := rowCity(geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0))
+	g := Build(city, DefaultConfig())
+	if got := g.NearestBuilding(geo.Pt(95, 10)); got != 1 {
+		t.Errorf("NearestBuilding = %d, want 1", got)
+	}
+	empty := Build(&osm.City{Name: "empty"}, DefaultConfig())
+	if got := empty.NearestBuilding(geo.Pt(0, 0)); got != -1 {
+		t.Errorf("empty city NearestBuilding = %d, want -1", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two clusters separated by 500 m.
+	city := rowCity(
+		geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0),
+		geo.Pt(600, 0), geo.Pt(640, 0),
+	)
+	g := Build(city, DefaultConfig())
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes = %d, %d; want 3, 2 (largest first)",
+			len(comps[0]), len(comps[1]))
+	}
+}
+
+func planCity(p *citygen.Plan) *osm.City {
+	city := &osm.City{Name: p.Spec.Name, Bounds: p.Bounds}
+	for i, b := range p.Buildings {
+		city.Buildings = append(city.Buildings, &osm.Feature{
+			ID: osm.ID(i + 1), Kind: osm.KindBuilding,
+			Footprint: b.Footprint, Centroid: b.Footprint.Centroid(),
+		})
+	}
+	return city
+}

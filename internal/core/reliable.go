@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"citymesh/internal/conduit"
+	"citymesh/internal/packet"
+	"citymesh/internal/routing"
+	"citymesh/internal/sim"
+)
+
+// Rung identifies one step of the resilient delivery ladder. The ladder
+// escalates from the cheapest recovery (send the same conduit route again)
+// to the most expensive (a TTL-scoped flood), stopping at the first rung
+// that delivers.
+type Rung int
+
+const (
+	// RungDirect is the initial conduit-routed send — no recovery needed.
+	RungDirect Rung = iota
+	// RungRetry retransmits along the same route with fresh timing, the
+	// cure for losses, collisions, and transient churn.
+	RungRetry
+	// RungWiden re-plans with a widened conduit W, recruiting buildings
+	// adjacent to the failed corridor.
+	RungWiden
+	// RungMultipath sends copies along k spatially diverse routes.
+	RungMultipath
+	// RungFlood is the last resort: a TTL-scoped flood that reaches the
+	// destination whenever the surviving mesh is physically connected.
+	RungFlood
+	// RungExhausted marks a ReliableResult whose every rung failed.
+	RungExhausted
+)
+
+// String names the rung for tables and logs.
+func (r Rung) String() string {
+	switch r {
+	case RungDirect:
+		return "direct"
+	case RungRetry:
+		return "retry"
+	case RungWiden:
+		return "widen"
+	case RungMultipath:
+		return "multipath"
+	case RungFlood:
+		return "flood"
+	case RungExhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("rung(%d)", int(r))
+}
+
+// NumRungs is the count of real ladder rungs (excluding RungExhausted).
+const NumRungs = int(RungExhausted)
+
+// ReliableConfig tunes SendReliable.
+type ReliableConfig struct {
+	// Retries is how many same-route retransmissions RungRetry attempts.
+	Retries int
+	// WidenFactors are the successive conduit-width multipliers RungWiden
+	// tries (each is one attempt, applied to the original width).
+	WidenFactors []float64
+	// MultipathK is the number of diverse routes at RungMultipath.
+	MultipathK int
+	// FloodTTL caps the scoped flood; 0 derives a bound from the building
+	// route length (or falls back to the network TTL when unroutable).
+	FloodTTL uint8
+	// BackoffBase is the first backoff delay in seconds; each subsequent
+	// attempt doubles it up to BackoffMax.
+	BackoffBase float64
+	// BackoffMax caps the exponential backoff.
+	BackoffMax float64
+	// JitterFrac randomizes each backoff within ±JitterFrac/2 of itself,
+	// de-synchronizing recovery retransmissions from concurrent senders.
+	JitterFrac float64
+	// Seed drives the backoff jitter and per-attempt simulation seeds;
+	// the whole ladder is reproducible under a fixed seed.
+	Seed int64
+}
+
+// DefaultReliableConfig returns the evaluation ladder: 2 retries, widen
+// x2 then x4, 3-route multipath, 50 ms base backoff.
+func DefaultReliableConfig() ReliableConfig {
+	return ReliableConfig{
+		Retries:      2,
+		WidenFactors: []float64{2, 4},
+		MultipathK:   3,
+		BackoffBase:  0.05,
+		BackoffMax:   2,
+		JitterFrac:   0.5,
+		Seed:         1,
+	}
+}
+
+// ReliableAttempt records one transmission attempt of the ladder.
+type ReliableAttempt struct {
+	// Rung is the ladder step this attempt belongs to.
+	Rung Rung
+	// Backoff is the delay waited before this attempt (0 for the first).
+	Backoff float64
+	// Broadcasts is the transmission cost of this attempt.
+	Broadcasts int
+	// Delivered reports end-to-end success of this attempt.
+	Delivered bool
+	// Err records a planning failure ("" when the attempt transmitted).
+	Err string
+}
+
+// ReliableResult is the outcome of a SendReliable ladder run.
+type ReliableResult struct {
+	// Delivered reports whether any rung succeeded.
+	Delivered bool
+	// Rung is the rung that delivered, or RungExhausted.
+	Rung Rung
+	// Attempts lists every attempt in order.
+	Attempts []ReliableAttempt
+	// TotalBroadcasts sums transmissions across all attempts — the price
+	// of reliability, comparable against a single Send's Broadcasts.
+	TotalBroadcasts int
+	// TotalBackoff sums the backoff delays incurred before success (or
+	// exhaustion).
+	TotalBackoff float64
+	// FirstAttempt keeps the plain-send outcome for overhead comparisons.
+	FirstAttempt SendResult
+}
+
+// Overhead returns TotalBroadcasts relative to the ideal unicast minimum
+// recorded by the first attempt, or 0 if unavailable.
+func (r ReliableResult) Overhead() float64 {
+	if r.FirstAttempt.IdealTransmissions <= 0 {
+		return 0
+	}
+	return float64(r.TotalBroadcasts) / float64(r.FirstAttempt.IdealTransmissions)
+}
+
+// SendReliable wraps Send with end-to-end delivery confirmation and a
+// deterministic escalation ladder: retransmit the same route, re-plan with
+// a widened conduit, k-disjoint multipath, and finally a TTL-scoped flood.
+// Between attempts it waits (in simulated time accounting) an
+// exponentially-growing, jittered backoff. The run stops at the first rung
+// that delivers and records which rung won plus the total overhead.
+func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, rcfg ReliableConfig) (ReliableResult, error) {
+	if src < 0 || src >= n.City.NumBuildings() || dst < 0 || dst >= n.City.NumBuildings() {
+		return ReliableResult{}, fmt.Errorf("core: building out of range (%d, %d of %d)",
+			src, dst, n.City.NumBuildings())
+	}
+	d := DefaultReliableConfig()
+	if rcfg.Retries < 0 {
+		rcfg.Retries = 0
+	}
+	if rcfg.MultipathK <= 0 {
+		rcfg.MultipathK = d.MultipathK
+	}
+	if rcfg.BackoffBase <= 0 {
+		rcfg.BackoffBase = d.BackoffBase
+	}
+	if rcfg.BackoffMax <= 0 {
+		rcfg.BackoffMax = d.BackoffMax
+	}
+	if rcfg.JitterFrac < 0 || rcfg.JitterFrac > 1 {
+		rcfg.JitterFrac = d.JitterFrac
+	}
+	rng := rand.New(rand.NewSource(rcfg.Seed))
+	out := ReliableResult{Rung: RungExhausted}
+
+	// backoff computes the jittered delay before attempt i (0-based; the
+	// very first transmission waits nothing). Drawn unconditionally so the
+	// rng stream — and thus every later jitter — is reproducible
+	// regardless of which rungs run.
+	attemptIdx := 0
+	backoff := func() float64 {
+		u := rng.Float64()
+		if attemptIdx == 0 {
+			attemptIdx++
+			return 0
+		}
+		b := rcfg.BackoffBase * math.Pow(2, float64(attemptIdx-1))
+		if b > rcfg.BackoffMax {
+			b = rcfg.BackoffMax
+		}
+		attemptIdx++
+		return b * (1 - rcfg.JitterFrac/2 + u*rcfg.JitterFrac)
+	}
+	// attemptSim derives a distinct deterministic simulator seed per
+	// attempt so retries see fresh loss and jitter realizations.
+	attemptSim := func(i int) sim.Config {
+		c := simCfg
+		c.Seed = simCfg.Seed + int64(i)*0x9e3779b9
+		return c
+	}
+	record := func(rung Rung, wait float64, broadcasts int, delivered bool, errStr string) {
+		out.Attempts = append(out.Attempts, ReliableAttempt{
+			Rung: rung, Backoff: wait, Broadcasts: broadcasts,
+			Delivered: delivered, Err: errStr,
+		})
+		out.TotalBroadcasts += broadcasts
+		out.TotalBackoff += wait
+		if delivered && !out.Delivered {
+			out.Delivered = true
+			out.Rung = rung
+		}
+	}
+
+	// Rung 0 + 1: the direct send, then same-route retransmissions.
+	route, planErr := n.PlanRoute(src, dst)
+	var path []int
+	if planErr == nil {
+		path, _ = n.BuildingPath(src, dst)
+		for try := 0; try <= rcfg.Retries; try++ {
+			rung := RungDirect
+			if try > 0 {
+				rung = RungRetry
+			}
+			wait := backoff()
+			pkt, err := n.NewPacket(route, payload)
+			if err != nil {
+				return out, err
+			}
+			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
+			if try == 0 {
+				out.FirstAttempt = SendResult{Route: route, Packet: pkt, Sim: res, IdealTransmissions: -1}
+				if ideal, err := n.Mesh.MinTransmissions(src, dst); err == nil {
+					out.FirstAttempt.IdealTransmissions = ideal
+				}
+			}
+			record(rung, wait, res.Broadcasts, res.Delivered, "")
+			if res.Delivered {
+				return out, nil
+			}
+		}
+	} else {
+		record(RungDirect, backoff(), 0, false, planErr.Error())
+	}
+
+	// Rung 2: widen the conduit, recruiting rebroadcasters around the
+	// failed corridor.
+	widens := rcfg.WidenFactors
+	if widens == nil {
+		widens = d.WidenFactors
+	}
+	if planErr == nil && len(path) > 0 {
+		for _, f := range widens {
+			wait := backoff()
+			wide, err := conduit.Compress(n.City, path, n.Cfg.ConduitWidth*f)
+			if err != nil {
+				record(RungWiden, wait, 0, false, err.Error())
+				continue
+			}
+			pkt, err := n.NewPacket(wide, payload)
+			if err != nil {
+				record(RungWiden, wait, 0, false, err.Error())
+				continue
+			}
+			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
+			record(RungWiden, wait, res.Broadcasts, res.Delivered, "")
+			if res.Delivered {
+				return out, nil
+			}
+		}
+	}
+
+	// Rung 3: k spatially diverse routes.
+	{
+		wait := backoff()
+		mp, err := n.MultipathSend(src, dst, payload, rcfg.MultipathK, attemptSim(len(out.Attempts)))
+		if err != nil {
+			record(RungMultipath, wait, 0, false, err.Error())
+		} else {
+			record(RungMultipath, wait, mp.TotalBroadcasts, mp.Delivered, "")
+			if mp.Delivered {
+				return out, nil
+			}
+		}
+	}
+
+	// Rung 4: scoped flood. The packet carries only {src, dst} waypoints
+	// (no conduit constrains forwarding under the flood policy) and a TTL
+	// bounding the blast radius to a multiple of the predicted route
+	// length when one exists.
+	{
+		wait := backoff()
+		ttl := rcfg.FloodTTL
+		if ttl == 0 {
+			if len(path) > 0 {
+				scope := 4*len(path) + 8
+				if scope < int(n.Cfg.TTL) {
+					ttl = uint8(scope)
+				} else {
+					ttl = n.Cfg.TTL
+				}
+			} else {
+				ttl = n.Cfg.TTL
+			}
+		}
+		n.msgSeq++
+		pkt := &packet.Packet{
+			Header: packet.Header{
+				TTL:       ttl,
+				MsgID:     msgID(n.Cfg.APSeed, n.msgSeq),
+				Waypoints: []uint32{uint32(src), uint32(dst)},
+			},
+			Payload: payload,
+		}
+		res := sim.Run(n.Mesh, n.City, routing.Flood{}, pkt, attemptSim(len(out.Attempts)))
+		record(RungFlood, wait, res.Broadcasts, res.Delivered, "")
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
+	"citymesh/internal/geo"
+	"citymesh/internal/mesh"
+	"citymesh/internal/sim"
+)
+
+func testMesh(t testing.TB, seed int64) (*core.Network, *mesh.Mesh) {
+	t.Helper()
+	n, err := core.FromSpec(citygen.SmallTestSpec(seed), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, n.Mesh
+}
+
+func TestUniformKillsExactFraction(t *testing.T) {
+	n, m := testMesh(t, 11)
+	for _, frac := range []float64{0, 0.1, 0.3, 0.5, 1} {
+		inj, err := Inject(m, n.City, Config{Mode: ModeUniform, Frac: frac, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Round(frac * float64(m.NumAPs())))
+		if inj.NumFailed() != want {
+			t.Errorf("frac %v: killed %d, want exactly %d of %d",
+				frac, inj.NumFailed(), want, m.NumAPs())
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	n, m := testMesh(t, 12)
+	a, _ := Inject(m, n.City, Config{Mode: ModeUniform, Frac: 0.3, Seed: 42})
+	b, _ := Inject(m, n.City, Config{Mode: ModeUniform, Frac: 0.3, Seed: 42})
+	if !reflect.DeepEqual(a.Failed, b.Failed) {
+		t.Error("same seed produced different failure sets")
+	}
+	c, _ := Inject(m, n.City, Config{Mode: ModeUniform, Frac: 0.3, Seed: 43})
+	if reflect.DeepEqual(a.Failed, c.Failed) {
+		t.Error("different seeds produced identical failure sets")
+	}
+}
+
+func TestDiskIsSpatiallyCorrelated(t *testing.T) {
+	n, m := testMesh(t, 13)
+	inj, err := Inject(m, n.City, Config{Mode: ModeDisk, Frac: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Round(0.25 * float64(m.NumAPs())))
+	if inj.NumFailed() != want {
+		t.Fatalf("killed %d, want %d", inj.NumFailed(), want)
+	}
+	// Every dead AP must be nearer the center than every surviving AP
+	// (ties aside): the failure set is a disk.
+	center := n.City.Bounds.Center()
+	maxDead := 0.0
+	for ap := range inj.Failed {
+		if d := m.APs[ap].Pos.Dist(center); d > maxDead {
+			maxDead = d
+		}
+	}
+	for i := range m.APs {
+		if inj.Failed[i] {
+			continue
+		}
+		if d := m.APs[i].Pos.Dist(center); d < maxDead-1e-9 {
+			t.Fatalf("surviving AP %d at %.1f m inside blast radius %.1f m", i, d, maxDead)
+		}
+	}
+}
+
+func TestDiskCustomCenter(t *testing.T) {
+	n, m := testMesh(t, 14)
+	c := geo.Pt(0, 0) // city corner
+	inj, err := Inject(m, n.City, Config{Mode: ModeDisk, Frac: 0.1, Center: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundsCenter := n.City.Bounds.Center()
+	// The failure set must hug the corner, not the city center.
+	for ap := range inj.Failed {
+		if m.APs[ap].Pos.Dist(c) > m.APs[ap].Pos.Dist(boundsCenter) {
+			return // at least one AP closer to the corner: plausible disk
+		}
+	}
+	if inj.NumFailed() > 0 {
+		t.Error("corner-centered disk killed only center-hugging APs")
+	}
+}
+
+func TestPolygonKillsOnlyInside(t *testing.T) {
+	n, m := testMesh(t, 15)
+	b := n.City.Bounds
+	// Left half of the city.
+	half := geo.Polygon{
+		b.Min, geo.Pt(b.Center().X, b.Min.Y),
+		geo.Pt(b.Center().X, b.Max.Y), geo.Pt(b.Min.X, b.Max.Y),
+	}
+	inj, err := Inject(m, n.City, Config{Mode: ModePolygon, Polygon: half})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.NumFailed() == 0 {
+		t.Fatal("no APs inside the left half?")
+	}
+	for i := range m.APs {
+		in := half.Contains(m.APs[i].Pos)
+		if in != inj.Failed[i] {
+			t.Fatalf("AP %d inside=%v failed=%v", i, in, inj.Failed[i])
+		}
+	}
+}
+
+func TestFloodNeedsWater(t *testing.T) {
+	n, m := testMesh(t, 16) // SmallTestSpec has no rivers
+	if len(n.City.Water) == 0 {
+		if _, err := Inject(m, n.City, Config{Mode: ModeFlood, Frac: 0.2}); err == nil {
+			t.Error("flooding a waterless city should error")
+		}
+	}
+}
+
+func TestFloodHugsTheRiver(t *testing.T) {
+	spec, ok := citygen.Preset("boston")
+	if !ok {
+		t.Fatal("no boston preset")
+	}
+	spec.Width, spec.Height = spec.Width/3, spec.Height/3
+	spec.Rivers[0].Start = spec.Rivers[0].Start.Scale(1.0 / 3)
+	spec.Rivers[0].End = spec.Rivers[0].End.Scale(1.0 / 3)
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.City.Water) == 0 {
+		t.Skip("scaled boston lost its river")
+	}
+	inj, err := Inject(n.Mesh, n.City, Config{Mode: ModeFlood, Frac: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Round(0.2 * float64(n.Mesh.NumAPs())))
+	if inj.NumFailed() != want {
+		t.Fatalf("killed %d, want %d", inj.NumFailed(), want)
+	}
+	// Dead APs must be nearer water than survivors (flood plain property).
+	distToWater := func(ap int) float64 {
+		best := math.Inf(1)
+		for _, w := range n.City.Water {
+			if d := w.Footprint.DistToPoint(n.Mesh.APs[ap].Pos); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	maxDead := 0.0
+	for ap := range inj.Failed {
+		if d := distToWater(ap); d > maxDead {
+			maxDead = d
+		}
+	}
+	for i := range n.Mesh.APs {
+		if inj.Failed[i] {
+			continue
+		}
+		if d := distToWater(i); d < maxDead-1e-9 {
+			t.Fatalf("surviving AP %d is %.1f m from water, inside the %.1f m flood plain", i, d, maxDead)
+		}
+	}
+}
+
+func TestChurnScheduleDeterministicAndStationary(t *testing.T) {
+	n, m := testMesh(t, 17)
+	mk := func(seed int64) *ChurnSchedule {
+		inj, err := Inject(m, n.City, Config{Mode: ModeChurn, Frac: 0.3, Seed: seed, Horizon: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Schedule.(*ChurnSchedule)
+	}
+	a, b := mk(5), mk(5)
+	for _, tm := range []float64{0, 0.01, 0.5, 3, 9.9} {
+		for ap := 0; ap < m.NumAPs(); ap += 7 {
+			if a.Down(ap, tm) != b.Down(ap, tm) {
+				t.Fatalf("same seed disagrees at ap=%d t=%v", ap, tm)
+			}
+		}
+	}
+	// Long-run down fraction should hover near the target 0.3.
+	samples, down := 0, 0
+	for _, tm := range []float64{0.5, 1.5, 2.5, 4, 6, 8} {
+		for ap := 0; ap < m.NumAPs(); ap++ {
+			samples++
+			if a.Down(ap, tm) {
+				down++
+			}
+		}
+	}
+	got := float64(down) / float64(samples)
+	if got < 0.15 || got > 0.45 {
+		t.Errorf("down fraction %.3f far from target 0.30", got)
+	}
+}
+
+func TestChurnTogglesFlipState(t *testing.T) {
+	s := &ChurnSchedule{
+		toggles:   [][]float64{{1, 2, 3}},
+		startDown: []bool{false},
+	}
+	cases := []struct {
+		t    float64
+		down bool
+	}{
+		{0, false}, {0.99, false}, {1, true}, {1.5, true},
+		{2, false}, {2.5, false}, {3, true}, {100, true},
+	}
+	for _, c := range cases {
+		if got := s.Down(0, c.t); got != c.down {
+			t.Errorf("Down(0, %v) = %v, want %v", c.t, got, c.down)
+		}
+	}
+	if s.Down(5, 0) {
+		t.Error("out-of-range AP should never be down")
+	}
+}
+
+func TestApplyMergesIntoSimConfig(t *testing.T) {
+	n, m := testMesh(t, 18)
+	inj, err := Inject(m, n.City, Config{Mode: ModeUniform, Frac: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.FailedAPs = map[int]bool{999999: true}
+	inj.Apply(&cfg)
+	if !cfg.FailedAPs[999999] {
+		t.Error("Apply must merge, not replace")
+	}
+	for ap := range inj.Failed {
+		if !cfg.FailedAPs[ap] {
+			t.Fatalf("AP %d not applied", ap)
+		}
+	}
+}
+
+func TestInjectUnknownMode(t *testing.T) {
+	n, m := testMesh(t, 19)
+	if _, err := Inject(m, n.City, Config{Mode: "earthquake"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	inj, err := Inject(m, n.City, Config{})
+	if err != nil || inj.NumFailed() != 0 || inj.Schedule != nil {
+		t.Error("empty mode should be a no-op injection")
+	}
+}

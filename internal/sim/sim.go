@@ -50,6 +50,15 @@ type Policy interface {
 	OnReceive(ctx *Context, ap int, pkt *packet.Packet, from int) Decision
 }
 
+// FailureSchedule is a time-varying AP failure model (see internal/faults):
+// the engine consults it at every transmission and reception instant, so an
+// AP can crash mid-run or recover (churn). Implementations must be
+// deterministic and safe for concurrent reads.
+type FailureSchedule interface {
+	// Down reports whether AP ap is failed at simulation time t.
+	Down(ap int, t float64) bool
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// TxDelay is the per-transmission latency in seconds.
@@ -61,6 +70,10 @@ type Config struct {
 	LossProb float64
 	// FailedAPs marks crashed APs: they neither receive nor forward.
 	FailedAPs map[int]bool
+	// Schedule is an optional time-varying failure model consulted in
+	// addition to FailedAPs; an AP down at time t neither receives nor
+	// rebroadcasts at t.
+	Schedule FailureSchedule
 	// Blackholes marks compromised APs (§1's security threat): they
 	// receive and silently consume frames — never forwarding and never
 	// counting as delivery — which is strictly harder to route around
@@ -116,6 +129,23 @@ type Result struct {
 	Transcript []APRecord
 	// SourceAP is the AP that injected the packet.
 	SourceAP int
+
+	// Per-attempt loss diagnostics: why frames that were transmitted never
+	// became receptions. Together they explain a failed delivery — a run
+	// dominated by LostToDeadAP needs rerouting, one dominated by
+	// LostToCollision needs pacing, one dominated by LostToRange reflects
+	// marginal links or a mispredicted building edge.
+
+	// LostToDeadAP counts frames addressed to an AP that was failed (or
+	// scheduled down) at arrival time.
+	LostToDeadAP int
+	// LostToCollision counts frames lost to the collision window.
+	LostToCollision int
+	// LostToLoss counts frames dropped by the independent LossProb coin.
+	LostToLoss int
+	// LostToRange counts frames the radio model rejected (out of range or
+	// faded).
+	LostToRange int
 }
 
 // Overhead returns Broadcasts divided by the ideal minimum transmission
@@ -177,6 +207,14 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ctx := &Context{City: city, Mesh: m, RNG: rng, Dst: pkt.Header.Dst()}
 
+	// down folds the static failure set and the time-varying schedule.
+	down := func(ap int, t float64) bool {
+		if cfg.FailedAPs[ap] {
+			return true
+		}
+		return cfg.Schedule != nil && cfg.Schedule.Down(ap, t)
+	}
+
 	res := Result{SourceAP: -1}
 	src := pkt.Header.Src()
 	dst := pkt.Header.Dst()
@@ -219,6 +257,7 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			collided := t-lastArrival[ap] < cfg.CollisionWindow
 			lastArrival[ap] = t
 			if collided {
+				res.LostToCollision++
 				return
 			}
 		}
@@ -268,7 +307,7 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 	}
 
 	// Inject at the source.
-	if !cfg.FailedAPs[srcAP] {
+	if !down(srcAP, 0) {
 		deliver(srcAP, -1, 0)
 	}
 
@@ -278,39 +317,50 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		events++
 		switch e.kind {
 		case evTransmit:
-			if cfg.FailedAPs[e.ap] {
+			if down(e.ap, e.t) {
 				continue
 			}
 			res.Broadcasts++
+			arrival := e.t + cfg.TxDelay
 			pos := m.APs[e.ap].Pos
 			m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
-				if n == e.ap || cfg.FailedAPs[n] {
+				if n == e.ap {
+					return true
+				}
+				if down(n, arrival) {
+					res.LostToDeadAP++
 					return true
 				}
 				if !receives(radio, pos.Dist(p), rng) {
+					res.LostToRange++
 					return true
 				}
 				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+					res.LostToLoss++
 					return true
 				}
-				push(event{t: e.t + cfg.TxDelay, kind: evReceive, ap: n, peer: e.ap})
+				push(event{t: arrival, kind: evReceive, ap: n, peer: e.ap})
 				return true
 			})
 		case evUnicast:
-			if cfg.FailedAPs[e.ap] {
+			if down(e.ap, e.t) {
 				continue
 			}
 			res.Broadcasts++
-			if cfg.FailedAPs[e.peer] {
+			arrival := e.t + cfg.TxDelay
+			if down(e.peer, arrival) {
+				res.LostToDeadAP++
 				continue
 			}
 			if !receives(radio, m.APs[e.ap].Pos.Dist(m.APs[e.peer].Pos), rng) {
+				res.LostToRange++
 				continue
 			}
 			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+				res.LostToLoss++
 				continue
 			}
-			push(event{t: e.t + cfg.TxDelay, kind: evReceive, ap: e.peer, peer: e.ap})
+			push(event{t: arrival, kind: evReceive, ap: e.peer, peer: e.ap})
 		case evReceive:
 			deliver(e.ap, e.peer, e.t)
 		}
