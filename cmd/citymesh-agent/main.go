@@ -14,6 +14,19 @@
 //
 // and a sender injecting via -send (see examples/udp-testbed for a fully
 // scripted version).
+//
+// Operations:
+//
+//   - -state-dir makes postboxes crash-safe: held messages are persisted
+//     to an append-only log and survive an AP reboot.
+//   - SIGTERM/SIGINT drain gracefully: beacons stop, the socket closes,
+//     postbox state is synced to disk, a final status dump prints, exit 0.
+//   - SIGUSR1 prints a status dump (per-cause drop counters, live neighbor
+//     table, transport watchdog health, postbox totals) without stopping
+//     the agent.
+//   - -hello controls the liveness beacon period; -neighbor-rate and
+//     -inbound-budget bound what a hostile or faulty peer can make this
+//     agent do.
 package main
 
 import (
@@ -22,6 +35,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +45,7 @@ import (
 	"citymesh/internal/geo"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
 )
 
 func main() {
@@ -41,12 +56,43 @@ func main() {
 		neighbors = flag.String("neighbors", "", "comma-separated neighbor UDP addresses")
 		send      = flag.String("send", "", "inject a message: dstBuilding:text (requires -building)")
 		stats     = flag.Duration("stats", 10*time.Second, "stats print interval (0: off)")
+		stateDir  = flag.String("state-dir", "", "directory for crash-safe postbox persistence (empty: in-memory)")
+		hello     = flag.Duration("hello", agent.DefaultBeaconInterval, "HELLO liveness beacon interval (0: off)")
+		nbrRate   = flag.Float64("neighbor-rate", agent.DefaultNeighborRate, "per-neighbor inbound frames/sec (negative: unlimited)")
+		budget    = flag.Float64("inbound-budget", 4<<20, "global inbound byte budget, bytes/sec (0: unlimited)")
 	)
 	flag.Parse()
 
 	if *cityFile == "" {
 		fail(fmt.Errorf("-city is required"))
 	}
+
+	// Validate operator input before any heavy lifting, so a typo in
+	// -neighbors or -send fails in milliseconds with every bad address
+	// listed, instead of after the map parse.
+	neighborAddrs, err := parseNeighbors(*neighbors)
+	if err != nil {
+		fail(err)
+	}
+	var sendDst int
+	var sendText string
+	if *send != "" {
+		if *buildingF < 0 {
+			fail(fmt.Errorf("-send requires -building"))
+		}
+		parts := strings.SplitN(*send, ":", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("-send wants dstBuilding:text"))
+		}
+		if _, err := fmt.Sscanf(parts[0], "%d", &sendDst); err != nil || sendDst < 0 {
+			fail(fmt.Errorf("bad destination %q", parts[0]))
+		}
+		sendText = parts[1]
+		if len(neighborAddrs) == 0 && sendDst != *buildingF {
+			fail(fmt.Errorf("-send to building %d needs -neighbors; the message cannot leave this AP", sendDst))
+		}
+	}
+
 	f, err := os.Open(*cityFile)
 	if err != nil {
 		fail(err)
@@ -58,61 +104,78 @@ func main() {
 	}
 	city := netw.City
 
+	// Crash-safe postbox store: with -state-dir, messages held for local
+	// postboxes survive a reboot — the defining event of a disaster.
+	var store *postbox.Store
+	if *stateDir != "" {
+		store, err = postbox.OpenDir(*stateDir)
+		if err != nil {
+			fail(fmt.Errorf("state-dir: %w", err))
+		}
+		boxes, msgs := store.Totals()
+		fmt.Printf("citymesh-agent: restored %d messages in %d postboxes from %s\n",
+			msgs, boxes, *stateDir)
+	}
+
 	pos := cityPos(city, *buildingF)
-	a := agent.New(agent.Config{ID: 0, Pos: pos, Building: *buildingF, City: city}, nil)
+	a := agent.New(agent.Config{
+		ID:                 0,
+		Pos:                pos,
+		Building:           *buildingF,
+		City:               city,
+		Store:              store,
+		NeighborRate:       *nbrRate,
+		InboundBytesPerSec: *budget,
+	}, nil)
 	a.OnDeliver(func(p *packet.Packet) {
 		fmt.Printf("DELIVERED msg=%016x from building %d: %q\n",
 			p.Header.MsgID, p.Header.Src(), p.Payload)
 	})
-	tr, err := agent.NewUDPTransport(*listen, a.HandleFrame)
+	tr, err := agent.NewUDPTransport(*listen, a.HandleFrameFrom)
 	if err != nil {
 		fail(err)
 	}
 	a.Attach(tr)
-	defer a.Close()
 	fmt.Printf("citymesh-agent: listening on %s (building %d, pos %v)\n", tr.Addr(), *buildingF, pos)
 
-	if *neighbors != "" {
-		var addrs []*net.UDPAddr
-		for _, s := range strings.Split(*neighbors, ",") {
-			ua, err := net.ResolveUDPAddr("udp", strings.TrimSpace(s))
-			if err != nil {
-				fail(fmt.Errorf("neighbor %q: %w", s, err))
-			}
-			addrs = append(addrs, ua)
-		}
-		tr.SetNeighbors(addrs)
+	if len(neighborAddrs) > 0 {
+		tr.SetNeighbors(neighborAddrs)
+	}
+	if *hello > 0 {
+		a.StartBeacons(*hello)
 	}
 
+	start := time.Now()
 	if *send != "" {
-		if *buildingF < 0 {
-			fail(fmt.Errorf("-send requires -building"))
-		}
-		parts := strings.SplitN(*send, ":", 2)
-		if len(parts) != 2 {
-			fail(fmt.Errorf("-send wants dstBuilding:text"))
-		}
-		var dst int
-		if _, err := fmt.Sscanf(parts[0], "%d", &dst); err != nil {
-			fail(fmt.Errorf("bad destination %q", parts[0]))
-		}
-		route, err := netw.PlanRoute(*buildingF, dst)
+		// Any failure along the send path — planning, encoding, or the
+		// socket writes — is a hard error with a non-zero exit, never a
+		// silent continue.
+		route, err := netw.PlanRoute(*buildingF, sendDst)
 		if err != nil {
-			fail(err)
+			fail(fmt.Errorf("send: plan route: %w", err))
 		}
-		pkt, err := netw.NewPacket(route, []byte(parts[1]))
+		pkt, err := netw.NewPacket(route, []byte(sendText))
 		if err != nil {
-			fail(err)
+			fail(fmt.Errorf("send: encode: %w", err))
 		}
 		if err := a.Inject(pkt); err != nil {
-			fail(err)
+			fail(fmt.Errorf("send: %w", err))
 		}
 		fmt.Printf("injected msg=%016x to building %d via %d waypoints\n",
-			pkt.Header.MsgID, dst, len(route.Waypoints))
+			pkt.Header.MsgID, sendDst, len(route.Waypoints))
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	// Staleness window for the periodic neighbor count: three missed
+	// beacons means the neighbor is gone.
+	liveWindow := 3 * *hello
+	if liveWindow <= 0 {
+		liveWindow = 3 * agent.DefaultBeaconInterval
+	}
+
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGINT, syscall.SIGTERM)
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
 	var tick <-chan time.Time
 	if *stats > 0 {
 		t := time.NewTicker(*stats)
@@ -121,15 +184,94 @@ func main() {
 	}
 	for {
 		select {
-		case <-sig:
-			st := a.Stats()
-			fmt.Printf("final stats: %+v\n", st)
+		case <-term:
+			// Graceful drain: stop beaconing and receiving, then make
+			// postbox state durable before exiting.
+			if err := a.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "citymesh-agent: close:", err)
+			}
+			if store != nil {
+				if err := store.Sync(); err != nil {
+					fmt.Fprintln(os.Stderr, "citymesh-agent: state sync:", err)
+				}
+			}
+			dumpStatus(a, tr, store, start)
+			if store != nil {
+				if err := store.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "citymesh-agent: state close:", err)
+				}
+			}
+			fmt.Println("citymesh-agent: drained, exiting")
 			return
+		case <-usr1:
+			dumpStatus(a, tr, store, start)
 		case <-tick:
 			st := a.Stats()
-			fmt.Printf("stats: %+v\n", st)
+			fmt.Printf("stats: rx=%d dup=%d fwd=%d stored=%d dropped=%d (malformed=%d oversized=%d ratelimited=%d) neighbors=%d\n",
+				st.Received, st.Duplicates, st.Rebroadcast, st.Stored, st.Dropped,
+				st.DroppedMalformed, st.DroppedOversized, st.DroppedRateLimited,
+				len(a.NeighborsSince(liveWindow)))
 		}
 	}
+}
+
+// parseNeighbors validates every address up front and reports all failures
+// at once, so the operator fixes the whole flag in one round trip.
+func parseNeighbors(s string) ([]*net.UDPAddr, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var addrs []*net.UDPAddr
+	var bad []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			bad = append(bad, "(empty entry)")
+			continue
+		}
+		ua, err := net.ResolveUDPAddr("udp", part)
+		if err != nil {
+			bad = append(bad, fmt.Sprintf("%s (%v)", part, err))
+			continue
+		}
+		if ua.Port == 0 {
+			bad = append(bad, fmt.Sprintf("%s (port 0 is not routable)", part))
+			continue
+		}
+		addrs = append(addrs, ua)
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("bad -neighbors: %s", strings.Join(bad, "; "))
+	}
+	return addrs, nil
+}
+
+// dumpStatus prints the full operational picture (SIGUSR1 and final drain).
+func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, start time.Time) {
+	st := a.Stats()
+	fmt.Printf("--- status (uptime %v) ---\n", time.Since(start).Round(time.Second))
+	fmt.Printf("frames: received=%d duplicates=%d rebroadcast=%d out-of-conduit=%d stored=%d\n",
+		st.Received, st.Duplicates, st.Rebroadcast, st.OutOfConduit, st.Stored)
+	fmt.Printf("drops:  total=%d malformed=%d oversized=%d rate-limited=%d panics-recovered=%d\n",
+		st.Dropped, st.DroppedMalformed, st.DroppedOversized, st.DroppedRateLimited, st.PanicsRecovered)
+	restarts, panics := tr.Health()
+	fmt.Printf("transport: addr=%s watchdog-restarts=%d handler-panics=%d\n", tr.Addr(), restarts, panics)
+	fmt.Printf("liveness: hellos-sent=%d hellos-received=%d known-neighbors=%d\n",
+		st.HellosSent, st.HellosReceived, len(st.Neighbors))
+	keys := make([]string, 0, len(st.Neighbors))
+	for k := range st.Neighbors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  neighbor %s last-seen %v ago\n", k, time.Since(st.Neighbors[k]).Round(time.Second))
+	}
+	if store != nil {
+		boxes, msgs := store.Totals()
+		fmt.Printf("postbox: dir=%s boxes=%d messages=%d log-bytes=%d\n",
+			store.Dir(), boxes, msgs, store.LogBytes())
+	}
+	fmt.Println("--- end status ---")
 }
 
 // cityPos picks the agent's position: the building centroid, or the map

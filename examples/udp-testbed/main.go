@@ -5,18 +5,28 @@
 // for radio range), and delivers a message end-to-end through actual
 // sockets with the conduit forwarding rule.
 //
+// A second phase demonstrates crash-safe postboxes: the destination AP is
+// rebuilt with a persistent store (the -state-dir machinery of
+// citymesh-agent), receives a postbox-flagged message over the same
+// conduit, is killed without any graceful shutdown, and the stored message
+// is shown to survive a reopen of the state directory — the
+// reboot-survival property a real AP needs.
+//
 //	go run ./examples/udp-testbed
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"citymesh"
 	"citymesh/internal/agent"
 	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
 )
 
 func main() {
@@ -82,7 +92,7 @@ func main() {
 			continue
 		}
 		a := agent.New(agent.Config{ID: i, Pos: ap.Pos, Building: ap.Building, City: full.City}, nil)
-		tr, err := agent.NewUDPTransport("127.0.0.1:0", a.HandleFrame)
+		tr, err := agent.NewUDPTransport("127.0.0.1:0", a.HandleFrameFrom)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -159,4 +169,93 @@ func main() {
 	}
 	fmt.Printf("activity: %d frame receptions, %d rebroadcasts across %d agents\n",
 		totalRx, totalFwd, len(nodes))
+
+	// --- Phase 2: crash-safe postbox at the destination AP ---
+
+	// Rebuild the first destination-building agent around a persistent
+	// store, keeping its UDP port so the other agents' neighbor tables
+	// stay valid.
+	var dstIdx = -1
+	for i, n := range nodes {
+		if n.ag.Building() == dst {
+			dstIdx = i
+			break
+		}
+	}
+	if dstIdx < 0 {
+		log.Fatal("no agent in the destination building")
+	}
+	stateDir, err := os.MkdirTemp("", "citymesh-testbed-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	store, err := postbox.OpenDir(stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	old := nodes[dstIdx]
+	port := old.tr.Addr().String()
+	if err := old.ag.Close(); err != nil {
+		log.Fatal(err)
+	}
+	ap := full.Mesh.APs[old.apID]
+	repl := agent.New(agent.Config{
+		ID: old.apID, Pos: ap.Pos, Building: ap.Building,
+		City: full.City, Store: store,
+	}, nil)
+	rtr, err := agent.NewUDPTransport(port, repl.HandleFrameFrom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repl.Attach(rtr)
+	nodes[dstIdx] = node{apID: old.apID, ag: repl, tr: rtr}
+	fmt.Printf("phase 2: destination AP restarted on %s with state-dir %s\n", port, stateDir)
+
+	// Send a postbox-flagged message through the same conduit. The
+	// destination AP must persist it for later pickup.
+	var pbAddr postbox.Address
+	copy(pbAddr[:], "survivor")
+	sealed := []byte("sealed-for-bob")
+	pbPkt, err := full.NewPacket(route, sealed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pbPkt.Header.Flags |= packet.FlagPostbox | packet.FlagUrgent
+	pbPkt.Header.Postbox = pbAddr
+	if err := injector.Inject(pbPkt); err != nil {
+		log.Fatal(err)
+	}
+	stored := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if store.Len(pbAddr) > 0 {
+			stored = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !stored {
+		log.Fatal("postbox message never reached the destination store")
+	}
+	fmt.Println("phase 2: postbox message persisted at destination")
+
+	// Crash: tear the socket down and abandon the store with no Sync and
+	// no Close — nothing graceful happens in a power cut. Then reopen the
+	// state directory the way a rebooted AP would and check the message
+	// survived.
+	if err := repl.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := postbox.OpenDir(stateDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	got := reopened.Retrieve(pbAddr, 0, dst)
+	if len(got) != 1 || !bytes.Equal(got[0].Sealed, sealed) || !got[0].Urgent {
+		log.Fatalf("postbox content lost in crash: %+v", got)
+	}
+	fmt.Printf("phase 2: after crash+reopen, postbox holds %d message (seq %d, %q) — state survived\n",
+		len(got), got[0].Seq, got[0].Sealed)
 }

@@ -13,6 +13,7 @@ package agent
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"citymesh/internal/conduit"
 	"citymesh/internal/geo"
@@ -45,6 +46,24 @@ type Config struct {
 	// IDs remembered); 0 means DefaultDedupCap. APs run for months on
 	// 32 MB routers — the cache must not grow with traffic.
 	DedupCap int
+	// Store optionally supplies the postbox store (e.g. one opened with
+	// postbox.OpenDir for crash-safe persistence); nil creates a fresh
+	// in-memory store.
+	Store *postbox.Store
+	// NeighborRate limits frames/sec accepted per identified source
+	// (frames arriving via HandleFrameFrom with a non-empty src). 0 means
+	// DefaultNeighborRate; negative disables per-source limiting.
+	NeighborRate float64
+	// NeighborBurst is the per-source burst allowance; 0 derives 2x rate.
+	NeighborBurst float64
+	// InboundBytesPerSec caps the agent's total inbound byte budget across
+	// all sources; 0 disables the global budget.
+	InboundBytesPerSec float64
+	// InboundBurstBytes is the global budget's burst; 0 derives 2x rate.
+	InboundBurstBytes float64
+	// Clock is injectable for deterministic rate-limit and liveness tests;
+	// nil means time.Now.
+	Clock func() time.Time
 }
 
 // DefaultDedupCap is the default dedup cache bound: 64k message IDs is
@@ -90,35 +109,88 @@ func (d *dedupSet) insert(id uint64) (dup bool) {
 
 func (d *dedupSet) len() int { return len(d.set) }
 
-// Stats counts an agent's activity.
+// maxNeighborEntries bounds the last-seen neighbor table so forged beacon
+// sources cannot grow it without bound.
+const maxNeighborEntries = 1024
+
+// Stats counts an agent's activity. Dropped is the total of the per-cause
+// DroppedX counters; Duplicates and OutOfConduit are tracked separately
+// because a duplicate or out-of-conduit frame is correct mesh behavior
+// (flood overlap), not a defect.
 type Stats struct {
 	Received    int
 	Duplicates  int
 	Rebroadcast int
 	Stored      int
 	Dropped     int
+
+	// Per-cause drop breakdown (sums to Dropped).
+	DroppedMalformed   int // failed decode: bad CRC/magic/version/structure
+	DroppedOversized   int // exceeded a validation budget (packet.Oversize)
+	DroppedRateLimited int // per-source rate or global byte budget exceeded
+
+	// OutOfConduit counts received frames not rebroadcast because this AP
+	// lies outside the packet's conduit — the paper's core suppression.
+	OutOfConduit int
+	// PanicsRecovered counts frame-handler panics absorbed by the runtime
+	// supervisor; any nonzero value is a bug worth a report, but it must
+	// not kill a deployed agent.
+	PanicsRecovered int
+
+	// Liveness beacon activity.
+	HellosSent     int
+	HellosReceived int
+	// Neighbors is the last-seen table built from HELLO beacons: source
+	// key (transport address, or "agent-<id>" when the transport does not
+	// identify sources) to the agent-clock time of the last beacon.
+	Neighbors map[string]time.Time
 }
 
 // Agent is one AP's CityMesh runtime.
 type Agent struct {
-	cfg   Config
-	tr    Transport
-	store *postbox.Store
+	cfg     Config
+	tr      Transport
+	store   *postbox.Store
+	limiter *limiter
+	clock   func() time.Time
 
-	mu    sync.Mutex
-	seen  *dedupSet
-	stats Stats
+	mu        sync.Mutex
+	seen      *dedupSet
+	stats     Stats
+	neighbors map[string]time.Time
 	// onDeliver fires when a packet for this agent's building arrives.
 	onDeliver func(*packet.Packet)
+
+	beaconStop chan struct{}
+	beaconWG   sync.WaitGroup
 }
 
 // New creates an agent. The transport may be nil until Attach.
 func New(cfg Config, tr Transport) *Agent {
+	store := cfg.Store
+	if store == nil {
+		store = postbox.NewStore()
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	rate := cfg.NeighborRate
+	if rate == 0 {
+		rate = DefaultNeighborRate
+	}
+	burst := cfg.NeighborBurst
+	if burst == 0 && rate == DefaultNeighborRate {
+		burst = DefaultNeighborBurst
+	}
 	return &Agent{
-		cfg:   cfg,
-		tr:    tr,
-		store: postbox.NewStore(),
-		seen:  newDedupSet(cfg.DedupCap),
+		cfg:       cfg,
+		tr:        tr,
+		store:     store,
+		clock:     clock,
+		limiter:   newLimiter(rate, burst, cfg.InboundBytesPerSec, cfg.InboundBurstBytes, 0),
+		seen:      newDedupSet(cfg.DedupCap),
+		neighbors: make(map[string]time.Time),
 	}
 }
 
@@ -148,11 +220,33 @@ func (a *Agent) OnDeliver(fn func(*packet.Packet)) {
 	a.mu.Unlock()
 }
 
-// Stats returns a snapshot of the agent's counters.
+// Stats returns a snapshot of the agent's counters. The snapshot is a deep
+// copy (including the neighbor table), so it is race-free against
+// concurrent HandleFrame calls.
 func (a *Agent) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.stats
+	st := a.stats
+	st.Neighbors = make(map[string]time.Time, len(a.neighbors))
+	for k, v := range a.neighbors {
+		st.Neighbors[k] = v
+	}
+	return st
+}
+
+// NeighborsSince returns the keys of neighbors whose last HELLO beacon is
+// no older than maxAge (maxAge <= 0 returns all known neighbors).
+func (a *Agent) NeighborsSince(maxAge time.Duration) []string {
+	now := a.clock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for k, v := range a.neighbors {
+		if maxAge <= 0 || now.Sub(v) <= maxAge {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // ID returns the agent's identifier.
@@ -178,19 +272,79 @@ func (a *Agent) Inject(pkt *packet.Packet) error {
 	return tr.Broadcast(frame)
 }
 
-// HandleFrame processes one received frame: decode, dedup, deliver or
-// store, and rebroadcast when inside the conduit. It is the Transport's
-// receive callback.
-func (a *Agent) HandleFrame(frame []byte) {
+// HandleFrame processes a frame from an unidentified source. Transports
+// that know the sender should call HandleFrameFrom so per-source rate
+// limiting applies.
+func (a *Agent) HandleFrame(frame []byte) { a.HandleFrameFrom("", frame) }
+
+// HandleFrameFrom processes one received frame: budget-check, decode,
+// dedup, deliver or store, and rebroadcast when inside the conduit. It is
+// the Transport's receive callback. The frame is untrusted input; every
+// rejection increments a per-cause drop counter, and a panic anywhere in
+// the handling path is absorbed (counted in PanicsRecovered) so a hostile
+// frame can never kill the agent process.
+func (a *Agent) HandleFrameFrom(src string, frame []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			// The frame's counters stand wherever processing reached; the
+			// recovery itself only records that a panic was absorbed.
+			a.mu.Lock()
+			a.stats.PanicsRecovered++
+			a.mu.Unlock()
+		}
+	}()
+	now := a.clock()
+
+	// Liveness beacons bypass the packet path (and the rate limiter: they
+	// are tiny, fixed-size, and the last-seen table is bounded).
+	if packet.IsHello(frame) {
+		hello, err := packet.DecodeHello(frame)
+		if err != nil {
+			a.drop(func(st *Stats) { st.DroppedMalformed++ })
+			return
+		}
+		key := src
+		if key == "" {
+			key = fmt.Sprintf("agent-%d", hello.ID)
+		}
+		a.mu.Lock()
+		a.stats.HellosReceived++
+		a.noteNeighborLocked(key, now)
+		a.mu.Unlock()
+		return
+	}
+
+	// Frames too large to ever decode are rejected before they charge the
+	// byte budget; everything else passes the overload budgets before the
+	// (comparatively expensive) CRC + decode, so a frame storm costs only
+	// a map lookup per drop.
+	if len(frame) > packet.MaxFrameLen {
+		a.drop(func(st *Stats) { st.DroppedOversized++ })
+		return
+	}
+	if src != "" && !a.limiter.allowSource(src, now) {
+		a.drop(func(st *Stats) { st.DroppedRateLimited++ })
+		return
+	}
+	if !a.limiter.allowBytes(len(frame), now) {
+		a.drop(func(st *Stats) { st.DroppedRateLimited++ })
+		return
+	}
+
 	pkt, err := packet.Decode(frame)
 	if err != nil {
-		a.mu.Lock()
-		a.stats.Dropped++
-		a.mu.Unlock()
+		if packet.Oversize(err) {
+			a.drop(func(st *Stats) { st.DroppedOversized++ })
+		} else {
+			a.drop(func(st *Stats) { st.DroppedMalformed++ })
+		}
 		return
 	}
 	a.mu.Lock()
 	a.stats.Received++
+	if src != "" {
+		a.noteNeighborLocked(src, now)
+	}
 	if a.seen.insert(pkt.Header.MsgID) {
 		a.stats.Duplicates++
 		a.mu.Unlock()
@@ -204,6 +358,9 @@ func (a *Agent) HandleFrame(frame []byte) {
 		return
 	}
 	if !a.insideConduit(pkt) {
+		a.mu.Lock()
+		a.stats.OutOfConduit++
+		a.mu.Unlock()
 		return
 	}
 	fwd := pkt.Clone()
@@ -219,6 +376,32 @@ func (a *Agent) HandleFrame(frame []byte) {
 	if tr != nil {
 		_ = tr.Broadcast(out)
 	}
+}
+
+// drop records one dropped frame with its cause.
+func (a *Agent) drop(cause func(*Stats)) {
+	a.mu.Lock()
+	a.stats.Dropped++
+	cause(&a.stats)
+	a.mu.Unlock()
+}
+
+// noteNeighborLocked updates the last-seen table, evicting the stalest
+// entry at capacity; called with a.mu held.
+func (a *Agent) noteNeighborLocked(key string, now time.Time) {
+	if _, ok := a.neighbors[key]; !ok && len(a.neighbors) >= maxNeighborEntries {
+		var staleKey string
+		var staleAt time.Time
+		first := true
+		for k, v := range a.neighbors {
+			if first || v.Before(staleAt) {
+				staleKey, staleAt = k, v
+				first = false
+			}
+		}
+		delete(a.neighbors, staleKey)
+	}
+	a.neighbors[key] = now
 }
 
 // maybeDeliver stores the payload if the packet is addressed to this
@@ -265,8 +448,11 @@ func (a *Agent) insideConduit(pkt *packet.Packet) bool {
 	return conduit.Contains(cs, pos)
 }
 
-// Close shuts the transport down.
+// Close stops beacons and shuts the transport down. The postbox store is
+// not closed: the caller that supplied it (Config.Store) owns its
+// lifecycle, and the default in-memory store has nothing to release.
 func (a *Agent) Close() error {
+	a.StopBeacons()
 	tr := a.transport()
 	if tr == nil {
 		return nil

@@ -202,12 +202,12 @@ func TestInjectWithoutTransport(t *testing.T) {
 
 func TestUDPTransportRoundTrip(t *testing.T) {
 	got := make(chan []byte, 10)
-	recv, err := NewUDPTransport("127.0.0.1:0", func(f []byte) { got <- f })
+	recv, err := NewUDPTransport("127.0.0.1:0", func(_ string, f []byte) { got <- f })
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer recv.Close()
-	sender, err := NewUDPTransport("127.0.0.1:0", func([]byte) {})
+	sender, err := NewUDPTransport("127.0.0.1:0", func(string, []byte) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +231,7 @@ func TestUDPTransportErrors(t *testing.T) {
 	if _, err := NewUDPTransport("not-an-addr", nil); err == nil {
 		t.Error("bad address should error")
 	}
-	tr, err := NewUDPTransport("127.0.0.1:0", func([]byte) {})
+	tr, err := NewUDPTransport("127.0.0.1:0", func(string, []byte) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestUDPAgentChainDelivery(t *testing.T) {
 		cfg := Config{ID: i, Building: buildings[i], City: city}
 		cfg.Pos.X, cfg.Pos.Y = pos[i].X, pos[i].Y
 		agents[i] = New(cfg, nil)
-		tr, err := NewUDPTransport("127.0.0.1:0", agents[i].HandleFrame)
+		tr, err := NewUDPTransport("127.0.0.1:0", agents[i].HandleFrameFrom)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,137 @@
+package agent
+
+import (
+	"sync"
+	"time"
+)
+
+// Overload protection. A deployed AP takes frames from whoever transmits;
+// a single hostile or faulty neighbor replaying frames at line rate must
+// degrade to bounded drops, not unbounded CPU (every accepted frame costs a
+// CRC + decode + conduit test). Two budgets apply before decoding:
+//
+//   - a per-source token bucket (frames/sec), so one noisy neighbor cannot
+//     starve the others;
+//   - a global byte bucket (bytes/sec), capping the total inbound work the
+//     agent will accept regardless of how many sources share the load.
+//
+// Both are classic token buckets with an injectable clock for deterministic
+// tests. The per-source table is bounded: at capacity the stalest bucket is
+// recycled, keeping memory fixed on a 32 MB router no matter how many
+// source addresses an attacker forges.
+
+// Default rate-limit parameters, sized far above legitimate mesh traffic
+// (a flood wave delivers each message to a neighbor a handful of times).
+const (
+	DefaultNeighborRate  = 500  // frames/sec per source
+	DefaultNeighborBurst = 1000 // frames of burst headroom
+	DefaultMaxSources    = 1024 // distinct source buckets remembered
+)
+
+// tokenBucket is a standard leaky-bucket rate limiter.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+	rate   float64 // tokens replenished per second; <=0 disables
+	burst  float64 // bucket capacity
+}
+
+// allow consumes cost tokens if available at time now.
+func (b *tokenBucket) allow(now time.Time, cost float64) bool {
+	if b.rate <= 0 {
+		return true
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < cost {
+		return false
+	}
+	b.tokens -= cost
+	return true
+}
+
+// limiter combines the per-source buckets with the global byte budget.
+type limiter struct {
+	mu         sync.Mutex
+	rate       float64 // per-source frames/sec
+	burst      float64
+	maxSources int
+	sources    map[string]*tokenBucket
+	global     tokenBucket // cost = bytes
+}
+
+// newLimiter builds a limiter; rate<=0 disables per-source limiting,
+// bytesPerSec<=0 disables the global budget.
+func newLimiter(rate, burst, bytesPerSec, burstBytes float64, maxSources int) *limiter {
+	if maxSources <= 0 {
+		maxSources = DefaultMaxSources
+	}
+	if burst <= 0 {
+		burst = 2 * rate
+	}
+	if burstBytes <= 0 {
+		burstBytes = 2 * bytesPerSec
+	}
+	return &limiter{
+		rate:       rate,
+		burst:      burst,
+		maxSources: maxSources,
+		sources:    make(map[string]*tokenBucket),
+		global:     tokenBucket{tokens: burstBytes, rate: bytesPerSec, burst: burstBytes},
+	}
+}
+
+// allowSource charges one frame against src's bucket.
+func (l *limiter) allowSource(src string, now time.Time) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.sources[src]
+	if b == nil {
+		b = l.takeBucket(now)
+		l.sources[src] = b
+	}
+	return b.allow(now, 1)
+}
+
+// takeBucket returns a fresh bucket, recycling the stalest one when the
+// table is at capacity; called with l.mu held.
+func (l *limiter) takeBucket(now time.Time) *tokenBucket {
+	if len(l.sources) >= l.maxSources {
+		var staleKey string
+		var stale *tokenBucket
+		for k, b := range l.sources {
+			if stale == nil || b.last.Before(stale.last) {
+				staleKey, stale = k, b
+			}
+		}
+		delete(l.sources, staleKey)
+		// A recycled bucket starts empty-handed except the burst refill,
+		// which allow() grants from elapsed time; reset it explicitly so a
+		// forged-source flood cannot inherit a full bucket.
+		*stale = tokenBucket{tokens: l.burst, last: now, rate: l.rate, burst: l.burst}
+		return stale
+	}
+	return &tokenBucket{tokens: l.burst, last: now, rate: l.rate, burst: l.burst}
+}
+
+// allowBytes charges n bytes against the global inbound budget.
+func (l *limiter) allowBytes(n int, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.global.allow(now, float64(n))
+}
+
+// sourceCount reports how many source buckets are live (tests, status dump).
+func (l *limiter) sourceCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sources)
+}

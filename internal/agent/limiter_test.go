@@ -1,0 +1,99 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := tokenBucket{tokens: 2, last: now, rate: 10, burst: 2}
+	if !b.allow(now, 1) || !b.allow(now, 1) {
+		t.Fatal("burst tokens refused")
+	}
+	if b.allow(now, 1) {
+		t.Fatal("empty bucket allowed")
+	}
+	// 100 ms at 10/s refills one token.
+	now = now.Add(100 * time.Millisecond)
+	if !b.allow(now, 1) {
+		t.Fatal("refilled token refused")
+	}
+	if b.allow(now, 1) {
+		t.Fatal("over-refilled")
+	}
+	// Refill never exceeds burst.
+	now = now.Add(time.Hour)
+	if !b.allow(now, 2) {
+		t.Fatal("burst after idle refused")
+	}
+	if b.allow(now, 1) {
+		t.Fatal("bucket exceeded burst after idle")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	b := tokenBucket{rate: 0}
+	for i := 0; i < 100; i++ {
+		if !b.allow(time.Unix(0, 0), 1e9) {
+			t.Fatal("disabled bucket refused")
+		}
+	}
+}
+
+func TestLimiterPerSourceIsolation(t *testing.T) {
+	now := time.Unix(2000, 0)
+	l := newLimiter(10, 10, 0, 0, 0)
+	// Source A exhausts its bucket; source B is unaffected.
+	for i := 0; i < 10; i++ {
+		if !l.allowSource("a", now) {
+			t.Fatalf("a refused at frame %d", i)
+		}
+	}
+	if l.allowSource("a", now) {
+		t.Fatal("a allowed past burst")
+	}
+	if !l.allowSource("b", now) {
+		t.Fatal("b throttled by a's storm")
+	}
+}
+
+func TestLimiterGlobalByteBudget(t *testing.T) {
+	now := time.Unix(3000, 0)
+	l := newLimiter(-1, 0, 1000, 1000, 0)
+	if !l.allowBytes(800, now) {
+		t.Fatal("within budget refused")
+	}
+	if l.allowBytes(800, now) {
+		t.Fatal("over budget allowed")
+	}
+	now = now.Add(time.Second)
+	if !l.allowBytes(800, now) {
+		t.Fatal("refilled budget refused")
+	}
+}
+
+func TestLimiterSourceTableBounded(t *testing.T) {
+	now := time.Unix(4000, 0)
+	l := newLimiter(10, 10, 0, 0, 64)
+	for i := 0; i < 1000; i++ {
+		l.allowSource(fmt.Sprintf("src-%d", i), now.Add(time.Duration(i)*time.Millisecond))
+	}
+	if n := l.sourceCount(); n > 64 {
+		t.Fatalf("source table grew to %d entries, cap 64", n)
+	}
+	// Forged-source churn must not hand out unlimited tokens: a recycled
+	// bucket still enforces its own burst.
+	src := "recycled"
+	allowed := 0
+	tick := now.Add(2 * time.Second)
+	for i := 0; i < 100; i++ {
+		if l.allowSource(src, tick) {
+			allowed++
+		}
+	}
+	if allowed > 10 {
+		t.Fatalf("recycled bucket allowed %d frames, burst is 10", allowed)
+	}
+}

@@ -1,0 +1,77 @@
+package agent
+
+import (
+	"time"
+
+	"citymesh/internal/packet"
+)
+
+// Liveness. A deployed mesh loses nodes to power failure and gains them
+// back on reboot — churn, not link loss, is the dominant failure mode in
+// the deployment the paper targets. Each agent therefore broadcasts a tiny
+// fixed-size HELLO beacon on a timer; receivers maintain a bounded
+// last-seen table (surfaced in Stats.Neighbors) from which an operator —
+// or a watchdog — can tell a silent radio from a dead neighbor.
+
+// DefaultBeaconInterval is the default HELLO period. At ~21 bytes per
+// beacon the steady-state cost is noise even on the paper's low-bandwidth
+// links.
+const DefaultBeaconInterval = 5 * time.Second
+
+// StartBeacons begins broadcasting HELLO beacons every interval until
+// Close (or StopBeacons). Starting twice restarts the ticker with the new
+// interval. interval <= 0 uses DefaultBeaconInterval.
+func (a *Agent) StartBeacons(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultBeaconInterval
+	}
+	a.StopBeacons()
+	stop := make(chan struct{})
+	a.mu.Lock()
+	a.beaconStop = stop
+	a.mu.Unlock()
+	a.beaconWG.Add(1)
+	go a.beaconLoop(interval, stop)
+}
+
+// StopBeacons halts beacon broadcast; safe to call when none are running.
+func (a *Agent) StopBeacons() {
+	a.mu.Lock()
+	stop := a.beaconStop
+	a.beaconStop = nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		a.beaconWG.Wait()
+	}
+}
+
+func (a *Agent) beaconLoop(interval time.Duration, stop chan struct{}) {
+	defer a.beaconWG.Done()
+	frame := packet.Hello{ID: uint64(a.cfg.ID), Building: int32(a.cfg.Building)}.Encode()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	// Announce immediately so a rebooted agent reappears in neighbor
+	// tables within one receive, not one interval.
+	a.sendBeacon(frame)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			a.sendBeacon(frame)
+		}
+	}
+}
+
+func (a *Agent) sendBeacon(frame []byte) {
+	tr := a.transport()
+	if tr == nil {
+		return
+	}
+	if err := tr.Broadcast(frame); err == nil {
+		a.mu.Lock()
+		a.stats.HellosSent++
+		a.mu.Unlock()
+	}
+}

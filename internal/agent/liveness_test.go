@@ -1,0 +1,103 @@
+package agent
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+)
+
+func TestHelloUpdatesNeighborTable(t *testing.T) {
+	base := time.Unix(9000, 0)
+	now := base
+	a := New(Config{ID: 1, Building: -1, City: &osm.City{Name: "x"},
+		Clock: func() time.Time { return now }}, nil)
+
+	a.HandleFrameFrom("10.1.1.1:7", packet.Hello{ID: 42, Building: 5}.Encode())
+	now = now.Add(10 * time.Second)
+	a.HandleFrameFrom("", packet.Hello{ID: 43, Building: -1}.Encode())
+
+	st := a.Stats()
+	if st.HellosReceived != 2 {
+		t.Fatalf("hellos = %d", st.HellosReceived)
+	}
+	if ts, ok := st.Neighbors["10.1.1.1:7"]; !ok || !ts.Equal(base) {
+		t.Errorf("neighbor by src = %v, %v", ts, ok)
+	}
+	if _, ok := st.Neighbors["agent-43"]; !ok {
+		t.Error("sourceless hello not keyed by agent ID")
+	}
+	// Staleness filter: only the recent neighbor within 1 minute of "now".
+	live := a.NeighborsSince(time.Minute)
+	if len(live) != 2 {
+		t.Errorf("live neighbors = %v", live)
+	}
+	now = now.Add(2 * time.Minute)
+	if live := a.NeighborsSince(time.Minute); len(live) != 0 {
+		t.Errorf("stale neighbors still live: %v", live)
+	}
+
+	// Corrupt hello is a malformed drop, not a table update.
+	bad := packet.Hello{ID: 9, Building: 1}.Encode()
+	bad[2] ^= 1
+	a.HandleFrameFrom("10.2.2.2:7", bad)
+	st = a.Stats()
+	if st.DroppedMalformed != 1 {
+		t.Errorf("corrupt hello: %+v", st)
+	}
+	if _, ok := st.Neighbors["10.2.2.2:7"]; ok {
+		t.Error("corrupt hello updated the neighbor table")
+	}
+}
+
+// TestBeaconsOverUDP runs two real transports and verifies beacons flow
+// and populate the peer's last-seen table.
+func TestBeaconsOverUDP(t *testing.T) {
+	city := &osm.City{Name: "x"}
+	mk := func(id int) (*Agent, *UDPTransport) {
+		a := New(Config{ID: id, Building: -1, City: city}, nil)
+		tr, err := NewUDPTransport("127.0.0.1:0", a.HandleFrameFrom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Attach(tr)
+		return a, tr
+	}
+	a1, t1 := mk(1)
+	a2, t2 := mk(2)
+	defer a1.Close()
+	defer a2.Close()
+	t1.SetNeighbors([]*net.UDPAddr{t2.Addr()})
+	t2.SetNeighbors([]*net.UDPAddr{t1.Addr()})
+
+	a1.StartBeacons(50 * time.Millisecond)
+	a2.StartBeacons(50 * time.Millisecond)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s1, s2 := a1.Stats(), a2.Stats()
+		if s1.HellosReceived > 0 && s2.HellosReceived > 0 &&
+			len(s1.Neighbors) > 0 && len(s2.Neighbors) > 0 {
+			if s1.HellosSent == 0 || s2.HellosSent == 0 {
+				t.Fatalf("sent counters empty: %+v %+v", s1, s2)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("beacons never crossed: a1=%+v a2=%+v", a1.Stats(), a2.Stats())
+}
+
+func TestStopBeaconsIdempotent(t *testing.T) {
+	a := New(Config{ID: 1, Building: -1, City: &osm.City{Name: "x"}}, nil)
+	a.StopBeacons() // never started: no-op
+	a.StartBeacons(time.Hour)
+	a.StartBeacons(time.Hour) // restart replaces the first loop
+	a.StopBeacons()
+	a.StopBeacons()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package agent
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"citymesh/internal/osm"
+	"citymesh/internal/packet"
+)
+
+// TestStatsRaceFree hammers HandleFrameFrom, Stats, NeighborsSince and
+// beacon start/stop from many goroutines. It asserts nothing beyond "the
+// race detector stays quiet and counters stay coherent" — run it with
+// go test -race (CI does).
+func TestStatsRaceFree(t *testing.T) {
+	a := New(Config{
+		ID:                 1,
+		Building:           -1,
+		City:               &osm.City{Name: "race"},
+		NeighborRate:       -1, // unlimited: maximize concurrent traffic
+		InboundBytesPerSec: 0,
+	}, nil)
+
+	valid, err := (&packet.Packet{
+		Header:  packet.Header{TTL: 4, MsgID: 99, Waypoints: []uint32{1, 2}},
+		Payload: []byte("race"),
+	}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := packet.Hello{ID: 7, Building: 3}.Encode()
+
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := fmt.Sprintf("10.0.0.%d:1", w)
+			for i := 0; i < perWorker; i++ {
+				switch i % 4 {
+				case 0:
+					a.HandleFrameFrom(src, valid)
+				case 1:
+					a.HandleFrameFrom(src, []byte("garbage frame"))
+				case 2:
+					a.HandleFrameFrom(src, hello)
+				case 3:
+					p := &packet.Packet{
+						Header:  packet.Header{TTL: 4, MsgID: uint64(w*perWorker + i), Waypoints: []uint32{1, 2}},
+						Payload: []byte("unique"),
+					}
+					f, _ := p.Encode(nil)
+					a.HandleFrameFrom(src, f)
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				st := a.Stats()
+				_ = st.Neighbors["10.0.0.1:1"]
+				a.NeighborsSince(time.Minute)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := a.Stats()
+	frames := workers * perWorker
+	if got := st.Received + st.Dropped + st.HellosReceived; got != frames {
+		t.Errorf("accounted %d of %d frames: %+v", got, frames, st)
+	}
+	if st.DroppedMalformed != workers*perWorker/4 {
+		t.Errorf("malformed = %d, want %d", st.DroppedMalformed, workers*perWorker/4)
+	}
+	if st.PanicsRecovered != 0 {
+		t.Errorf("panics during race test: %d", st.PanicsRecovered)
+	}
+}

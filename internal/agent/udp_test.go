@@ -1,0 +1,116 @@
+package agent
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestUDPWatchdogRebindsDeadSocket kills the socket out from under the
+// transport (without Close) and verifies the supervisor rebinds the same
+// port and keeps delivering — the "dead read loop" recovery a deployed
+// agent needs to survive transient network-stack failures.
+func TestUDPWatchdogRebindsDeadSocket(t *testing.T) {
+	got := make(chan []byte, 16)
+	recv, err := NewUDPTransport("127.0.0.1:0", func(_ string, f []byte) { got <- f })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	addr := recv.Addr()
+
+	// Simulate socket death: close the connection directly, bypassing
+	// Close() so the transport does not know it is shutting down.
+	recv.mu.Lock()
+	recv.conn.Close()
+	recv.mu.Unlock()
+
+	// The watchdog must rebind addr and resume delivery.
+	sender, err := NewUDPTransport("127.0.0.1:0", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sender.SetNeighbors([]*net.UDPAddr{addr})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_ = sender.Broadcast([]byte("are you back"))
+		select {
+		case f := <-got:
+			if string(f) != "are you back" {
+				t.Fatalf("frame = %q", f)
+			}
+			if restarts, _ := recv.Health(); restarts == 0 {
+				t.Error("watchdog restart not counted")
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	restarts, panics := recv.Health()
+	t.Fatalf("transport never recovered (restarts=%d panics=%d)", restarts, panics)
+}
+
+// TestUDPHandlerPanicAbsorbed sends a frame into a handler that panics;
+// the read loop must survive and keep serving subsequent frames.
+func TestUDPHandlerPanicAbsorbed(t *testing.T) {
+	got := make(chan []byte, 16)
+	first := true
+	recv, err := NewUDPTransport("127.0.0.1:0", func(_ string, f []byte) {
+		if first {
+			first = false
+			panic("hostile first frame")
+		}
+		got <- f
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	sender, err := NewUDPTransport("127.0.0.1:0", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+	sender.SetNeighbors([]*net.UDPAddr{recv.Addr()})
+
+	if err := sender.Broadcast([]byte("boom")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		_ = sender.Broadcast([]byte("after"))
+		select {
+		case f := <-got:
+			if string(f) != "after" {
+				continue // late reordering; keep draining
+			}
+			if _, panics := recv.Health(); panics == 0 {
+				t.Error("absorbed panic not counted")
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	t.Fatal("read loop died after handler panic")
+}
+
+// TestUDPCloseDuringBackoff ensures Close returns promptly even while the
+// supervisor is in its restart path.
+func TestUDPCloseDuringBackoff(t *testing.T) {
+	recv, err := NewUDPTransport("127.0.0.1:0", func(string, []byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv.mu.Lock()
+	recv.conn.Close()
+	recv.mu.Unlock()
+	done := make(chan error, 1)
+	go func() { done <- recv.Close() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung during watchdog backoff")
+	}
+}

@@ -1,0 +1,275 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// rawFrame assembles a frame from hand-built body bytes plus a valid CRC,
+// for decode tests that need wire-level control beyond what Encode allows.
+func rawFrame(body []byte) []byte {
+	return recrc(append(append([]byte(nil), body...), 0, 0, 0, 0))
+}
+
+// header12 returns the fixed 12-byte header prefix.
+func header12(flags, ttl, width uint8) []byte {
+	b := []byte{Magic, (Version << 4) | (flags & 0x0f), ttl}
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 1) // msgID = 1
+	return append(b, width)
+}
+
+func TestDecodeValidationBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() []byte
+		want error
+	}{
+		{
+			name: "zero waypoint count",
+			make: func() []byte {
+				// Trailing pad byte keeps the body at the 14-byte minimum so
+				// the count check, not the length check, fires.
+				return rawFrame(append(header12(0, 10, 50), 0, 0))
+			},
+			want: ErrWaypointCount,
+		},
+		{
+			name: "waypoint count above max",
+			make: func() []byte {
+				b := header12(0, 10, 50)
+				b = AppendUvarint(b, MaxWaypoints+1)
+				return rawFrame(b)
+			},
+			want: ErrWaypointCount,
+		},
+		{
+			name: "truncated varint in waypoint count",
+			make: func() []byte {
+				// Continuation bit set with no following byte.
+				return rawFrame(append(header12(0, 10, 50), 0x80))
+			},
+			want: ErrShortBuffer,
+		},
+		{
+			name: "truncated varint mid-route",
+			make: func() []byte {
+				b := header12(0, 10, 50)
+				b = AppendUvarint(b, 3)   // three waypoints promised
+				b = AppendUvarint(b, 100) // first present
+				b = append(b, 0x80)       // second truncated
+				return rawFrame(b)
+			},
+			want: ErrShortBuffer,
+		},
+		{
+			name: "varint overflow in waypoint",
+			make: func() []byte {
+				b := append(header12(0, 10, 50), 1)
+				b = append(b, bytes.Repeat([]byte{0xff}, 10)...)
+				b = append(b, 0x01)
+				return rawFrame(b)
+			},
+			want: ErrVarintOverflow,
+		},
+		{
+			name: "negative waypoint after delta",
+			make: func() []byte {
+				b := header12(0, 10, 50)
+				b = AppendUvarint(b, 2)
+				b = AppendUvarint(b, 5)           // first waypoint 5
+				b = AppendUvarint(b, ZigZag(-10)) // delta to -5
+				return rawFrame(b)
+			},
+			want: ErrWaypointRange,
+		},
+		{
+			name: "width above cap",
+			make: func() []byte {
+				b := header12(0, 10, MaxWidthMeters+1)
+				b = AppendUvarint(b, 1)
+				b = AppendUvarint(b, 7)
+				return rawFrame(b)
+			},
+			want: ErrWidthRange,
+		},
+		{
+			name: "payload above cap",
+			make: func() []byte {
+				b := header12(0, 10, 50)
+				b = AppendUvarint(b, 1)
+				b = AppendUvarint(b, 7)
+				b = append(b, make([]byte, MaxPayloadLen+1)...)
+				return rawFrame(b)
+			},
+			want: ErrPayloadTooLarge,
+		},
+		{
+			name: "frame above cap",
+			make: func() []byte {
+				return make([]byte, MaxFrameLen+1)
+			},
+			want: ErrFrameTooLarge,
+		},
+		{
+			name: "geocast radius above cap",
+			make: func() []byte {
+				b := header12(FlagGeocast, 10, 50)
+				b = AppendUvarint(b, 1)
+				b = AppendUvarint(b, 7)
+				b = AppendUvarint(b, ZigZag(0))
+				b = AppendUvarint(b, ZigZag(0))
+				b = AppendUvarint(b, MaxGeocastRadius+1)
+				return rawFrame(b)
+			},
+			want: ErrGeocastRadius,
+		},
+		{
+			name: "truncated postbox address",
+			make: func() []byte {
+				b := header12(FlagPostbox, 10, 50)
+				b = AppendUvarint(b, 1)
+				b = AppendUvarint(b, 7)
+				b = append(b, 1, 2, 3) // postbox needs 8 bytes
+				return rawFrame(b)
+			},
+			want: ErrShortBuffer,
+		},
+		{
+			name: "bad CRC",
+			make: func() []byte {
+				wire, _ := samplePacket().Encode(nil)
+				wire[len(wire)-1] ^= 0xff
+				return wire
+			},
+			want: ErrBadCRC,
+		},
+		{
+			name: "bad magic",
+			make: func() []byte {
+				wire, _ := samplePacket().Encode(nil)
+				wire[0] = 0x00
+				return recrc(wire)
+			},
+			want: ErrBadMagic,
+		},
+		{
+			name: "bad version",
+			make: func() []byte {
+				wire, _ := samplePacket().Encode(nil)
+				wire[1] = (9 << 4) | (wire[1] & 0x0f)
+				return recrc(wire)
+			},
+			want: ErrBadVersion,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.make())
+			if err == nil {
+				t.Fatal("decode accepted a frame outside the validation budget")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeMaxWidthHeader pins the acceptance boundary: the largest legal
+// header (max waypoints, max width, full postbox + geocast) round-trips.
+func TestDecodeMaxWidthHeader(t *testing.T) {
+	p := &Packet{
+		Header: Header{
+			Flags: FlagPostbox | FlagGeocast,
+			TTL:   255,
+			MsgID: ^uint64(0),
+			Width: MaxWidthMeters,
+			Target: GeocastArea{
+				CenterX: -(1 << 20), CenterY: 1 << 20, Radius: MaxGeocastRadius,
+			},
+		},
+		Payload: bytes.Repeat([]byte{0x5a}, 512),
+	}
+	p.Header.Waypoints = make([]uint32, MaxWaypoints)
+	for i := range p.Header.Waypoints {
+		p.Header.Waypoints[i] = uint32(1000 + i*2)
+	}
+	for i := range p.Header.Postbox {
+		p.Header.Postbox[i] = byte(i)
+	}
+	wire, err := p.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Header.Waypoints) != MaxWaypoints || q.Header.Width != MaxWidthMeters ||
+		q.Header.Target != p.Header.Target || !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("max header did not round-trip: %+v", q.Header)
+	}
+}
+
+func TestEncodeValidationBudget(t *testing.T) {
+	base := func() *Packet { return samplePacket() }
+
+	over := base()
+	over.Payload = make([]byte, MaxPayloadLen+1)
+	if _, err := over.Encode(nil); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("oversized payload: err = %v", err)
+	}
+
+	wide := base()
+	wide.Header.Width = MaxWidthMeters + 1
+	if _, err := wide.Encode(nil); !errors.Is(err, ErrWidthRange) {
+		t.Errorf("oversized width: err = %v", err)
+	}
+
+	geo := base()
+	geo.Header.Flags |= FlagGeocast
+	geo.Header.Target.Radius = MaxGeocastRadius + 1
+	if _, err := geo.Encode(nil); !errors.Is(err, ErrGeocastRadius) {
+		t.Errorf("oversized radius: err = %v", err)
+	}
+}
+
+func TestOversizeClassifier(t *testing.T) {
+	for _, err := range []error{ErrFrameTooLarge, ErrPayloadTooLarge, ErrRouteTooLong, ErrWidthRange, ErrGeocastRadius} {
+		if !Oversize(err) {
+			t.Errorf("Oversize(%v) = false", err)
+		}
+	}
+	for _, err := range []error{ErrBadCRC, ErrBadMagic, ErrBadVersion, ErrWaypointCount, ErrWaypointRange, ErrShortBuffer, ErrVarintOverflow, nil} {
+		if Oversize(err) {
+			t.Errorf("Oversize(%v) = true", err)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{ID: 1234567, Building: -1}
+	frame := h.Encode()
+	if !IsHello(frame) {
+		t.Fatal("IsHello(beacon) = false")
+	}
+	got, err := DecodeHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello = %+v, want %+v", got, h)
+	}
+	// Corruption is caught.
+	frame[3] ^= 1
+	if _, err := DecodeHello(frame); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("corrupted hello: err = %v", err)
+	}
+	if _, err := DecodeHello(frame[:5]); err == nil {
+		t.Error("short hello should error")
+	}
+	if IsHello([]byte{Magic}) {
+		t.Error("data frame misclassified as hello")
+	}
+}

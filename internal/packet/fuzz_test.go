@@ -1,0 +1,171 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns a corpus of valid and near-valid frames covering every
+// header variant, so the fuzzer starts at the interesting boundaries
+// instead of random bytes.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	add := func(p *Packet) {
+		if wire, err := p.Encode(nil); err == nil {
+			seeds = append(seeds, wire)
+		}
+	}
+	add(samplePacket())
+	geo := samplePacket()
+	geo.Header.Flags |= FlagGeocast
+	geo.Header.Target = GeocastArea{CenterX: -1250, CenterY: 2040, Radius: 300}
+	add(geo)
+	plain := samplePacket()
+	plain.Header.Flags = 0
+	plain.Payload = nil
+	add(plain)
+	one := samplePacket()
+	one.Header.Waypoints = []uint32{7}
+	add(one)
+	wide := samplePacket()
+	wide.Header.Width = MaxWidthMeters
+	add(wide)
+	long := samplePacket()
+	long.Header.Waypoints = make([]uint32, MaxWaypoints)
+	for i := range long.Header.Waypoints {
+		long.Header.Waypoints[i] = uint32(i * 3)
+	}
+	add(long)
+	// Structurally broken seeds: truncated varint in the route, zero
+	// waypoint count, and a bare header prefix.
+	seeds = append(seeds,
+		recrc(append(bytes.Repeat([]byte{0}, 4), 0x80, 0x80, 0x80, 0, 0, 0, 0)),
+		recrc([]byte{Magic, Version << 4, 1, 0, 0, 0, 0, 0, 0, 0, 0, 50, 0, 0, 0, 0}),
+		[]byte{Magic, Version << 4},
+	)
+	return seeds
+}
+
+// FuzzDecode feeds arbitrary bytes to Decode: it must never panic, and any
+// frame it accepts must satisfy the validation budget and re-encode to a
+// frame that decodes to the same packet.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			return
+		}
+		h := &p.Header
+		if len(h.Waypoints) == 0 || len(h.Waypoints) > MaxWaypoints {
+			t.Fatalf("accepted waypoint count %d", len(h.Waypoints))
+		}
+		if h.Width > MaxWidthMeters {
+			t.Fatalf("accepted width %d", h.Width)
+		}
+		if len(p.Payload) > MaxPayloadLen {
+			t.Fatalf("accepted payload of %d bytes", len(p.Payload))
+		}
+		wire, err := p.Encode(nil)
+		if err != nil {
+			t.Fatalf("re-encode of accepted packet failed: %v", err)
+		}
+		q, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if q.Header.MsgID != h.MsgID || q.Header.TTL != h.TTL ||
+			len(q.Header.Waypoints) != len(h.Waypoints) ||
+			!bytes.Equal(q.Payload, p.Payload) {
+			t.Fatalf("round trip diverged: %+v vs %+v", q.Header, h)
+		}
+	})
+}
+
+// FuzzRoundTrip builds a packet from fuzzed fields; whenever Encode accepts
+// it, Decode must reproduce it exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(64), uint64(1), uint8(50), []byte("hi"), []byte{1, 2, 3, 4})
+	f.Add(uint8(FlagGeocast), uint8(255), uint64(1<<60), uint8(0), []byte{}, []byte{9})
+	f.Add(uint8(FlagPostbox|FlagUrgent), uint8(1), uint64(0), uint8(MaxWidthMeters),
+		bytes.Repeat([]byte{0xaa}, 64), []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, flags, ttl uint8, msgID uint64, width uint8, payload, wpBytes []byte) {
+		if len(wpBytes) == 0 {
+			return
+		}
+		wps := make([]uint32, 0, len(wpBytes))
+		for i, b := range wpBytes {
+			// Spread waypoints across the index space with fuzz-driven deltas.
+			wps = append(wps, uint32(i)*131+uint32(b))
+		}
+		p := &Packet{
+			Header: Header{
+				Flags:     flags & 0x0f,
+				TTL:       ttl,
+				MsgID:     msgID,
+				Width:     width,
+				Waypoints: wps,
+			},
+			Payload: payload,
+		}
+		if p.Header.Flags&FlagGeocast != 0 {
+			p.Header.Target = GeocastArea{
+				CenterX: int32(msgID), CenterY: -int32(msgID >> 32),
+				Radius: uint32(msgID) % MaxGeocastRadius,
+			}
+		}
+		wire, err := p.Encode(nil)
+		if err != nil {
+			return // rejected by the validation budget; fine
+		}
+		q, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of encoded packet failed: %v", err)
+		}
+		if q.Header.Flags != p.Header.Flags || q.Header.TTL != ttl ||
+			q.Header.MsgID != msgID || q.Header.Width != width {
+			t.Fatalf("header mismatch: %+v vs %+v", q.Header, p.Header)
+		}
+		for i := range wps {
+			if q.Header.Waypoints[i] != wps[i] {
+				t.Fatalf("waypoint %d: %d != %d", i, q.Header.Waypoints[i], wps[i])
+			}
+		}
+		if !bytes.Equal(q.Payload, payload) {
+			t.Fatalf("payload mismatch")
+		}
+	})
+}
+
+// FuzzDecodeHello mirrors FuzzDecode for the beacon format.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add(Hello{ID: 42, Building: 7}.Encode())
+	f.Add(Hello{ID: 0, Building: -1}.Encode())
+	f.Add([]byte{HelloMagic})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := DecodeHello(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(h.Encode(), b) {
+			t.Fatalf("hello round trip diverged: %+v", h)
+		}
+	})
+}
+
+// TestFuzzSeedsDecode pins the seed corpus behavior outside fuzz mode: the
+// valid seeds decode, the broken ones are rejected without panicking.
+func TestFuzzSeedsDecode(t *testing.T) {
+	seeds := fuzzSeeds()
+	ok := 0
+	for _, s := range seeds {
+		if _, err := Decode(s); err == nil {
+			ok++
+		}
+	}
+	if ok < 5 {
+		t.Errorf("only %d/%d seeds decode; corpus lost its valid frames", ok, len(seeds))
+	}
+}

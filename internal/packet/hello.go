@@ -1,0 +1,62 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// HelloMagic identifies a liveness beacon frame. Beacons share the frame
+// namespace with data packets (one UDP socket per AP) but use a distinct
+// magic byte, so a receiver can dispatch on frame[0].
+const HelloMagic = 0xCA
+
+// helloLen is the fixed beacon size: magic, version, 8-byte agent ID,
+// 4-byte building index, CRC-32.
+const helloLen = 1 + 1 + 8 + 4 + 4
+
+// Hello is the periodic liveness beacon an agent broadcasts so neighbors
+// can maintain a last-seen table. Node churn — an AP losing power and
+// rejoining — is the normal case in a disaster, and the beacon is how the
+// runtime observes it.
+type Hello struct {
+	ID       uint64 // sender's agent identifier
+	Building int32  // sender's building index, or -1 for a relay
+}
+
+// IsHello reports whether frame is a beacon (dispatch check only; the
+// frame may still fail DecodeHello).
+func IsHello(frame []byte) bool {
+	return len(frame) > 0 && frame[0] == HelloMagic
+}
+
+// Encode returns the beacon's wire encoding.
+func (h Hello) Encode() []byte {
+	out := make([]byte, 0, helloLen)
+	out = append(out, HelloMagic, Version)
+	out = binary.BigEndian.AppendUint64(out, h.ID)
+	out = binary.BigEndian.AppendUint32(out, uint32(h.Building))
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+}
+
+// DecodeHello parses a beacon frame.
+func DecodeHello(frame []byte) (Hello, error) {
+	if len(frame) != helloLen {
+		return Hello{}, fmt.Errorf("packet: hello is %d bytes, want %d: %w",
+			len(frame), helloLen, ErrShortBuffer)
+	}
+	body, trailer := frame[:helloLen-4], frame[helloLen-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
+		return Hello{}, ErrBadCRC
+	}
+	if body[0] != HelloMagic {
+		return Hello{}, fmt.Errorf("packet: hello magic 0x%02x: %w", body[0], ErrBadMagic)
+	}
+	if body[1] != Version {
+		return Hello{}, fmt.Errorf("packet: hello version %d: %w", body[1], ErrBadVersion)
+	}
+	return Hello{
+		ID:       binary.BigEndian.Uint64(body[2:10]),
+		Building: int32(binary.BigEndian.Uint32(body[10:14])),
+	}, nil
+}

@@ -1,0 +1,57 @@
+package packet
+
+import "errors"
+
+// Validation budget.
+//
+// The decode path is the agent's untrusted-input boundary: on a deployed AP
+// every frame arrives from an arbitrary radio peer, so each variable-length
+// field carries an explicit upper bound and decoding rejects anything beyond
+// it with a typed error. The bounds are sized generously against legitimate
+// traffic (the paper's median header is 175 bits, §4) but small enough that
+// a hostile frame cannot make a 32 MB router allocate or loop unreasonably.
+const (
+	// MaxFrameLen bounds a whole encoded frame. It matches the UDP
+	// transport's datagram cap.
+	MaxFrameLen = 64 << 10
+	// MaxPayloadLen bounds the payload; CityMesh is a low-bandwidth
+	// messaging substrate, not a bulk channel.
+	MaxPayloadLen = 16 << 10
+	// MaxRouteBytes bounds the encoded compressed route. A worst-case legal
+	// route (MaxWaypoints deltas with poor locality) still fits well under
+	// this; adversarial maximal-varint routes do not.
+	MaxRouteBytes = 1 << 10
+	// MaxWidthMeters bounds the conduit width a frame may request. Width
+	// scales the area — and so the rebroadcast load — a single frame
+	// commands; 4x the 50 m default is ample for legitimate fat conduits.
+	MaxWidthMeters = 200
+	// MaxGeocastRadius bounds the geocast disc radius in meters.
+	MaxGeocastRadius = 1 << 24
+)
+
+// Typed decode errors. Each distinct rejection cause is a sentinel so the
+// agent can keep per-cause drop counters; Decode wraps these with context,
+// so match with errors.Is.
+var (
+	ErrFrameTooLarge   = errors.New("packet: frame exceeds MaxFrameLen")
+	ErrBadCRC          = errors.New("packet: CRC mismatch")
+	ErrBadMagic        = errors.New("packet: bad magic")
+	ErrBadVersion      = errors.New("packet: unsupported version")
+	ErrWaypointCount   = errors.New("packet: waypoint count out of range")
+	ErrWaypointRange   = errors.New("packet: waypoint value out of range")
+	ErrRouteTooLong    = errors.New("packet: encoded route exceeds MaxRouteBytes")
+	ErrPayloadTooLarge = errors.New("packet: payload exceeds MaxPayloadLen")
+	ErrWidthRange      = errors.New("packet: conduit width exceeds MaxWidthMeters")
+	ErrGeocastRadius   = errors.New("packet: geocast radius out of range")
+)
+
+// Oversize reports whether err indicates a frame rejected for exceeding a
+// resource budget, as opposed to being structurally malformed. Agents use
+// this to split their drop counters into oversized vs malformed.
+func Oversize(err error) bool {
+	return errors.Is(err, ErrFrameTooLarge) ||
+		errors.Is(err, ErrPayloadTooLarge) ||
+		errors.Is(err, ErrRouteTooLong) ||
+		errors.Is(err, ErrWidthRange) ||
+		errors.Is(err, ErrGeocastRadius)
+}

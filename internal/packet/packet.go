@@ -109,10 +109,23 @@ func (h *Header) HeaderBits() int { return 8 * h.EncodedLen() }
 func (p *Packet) Encode(dst []byte) ([]byte, error) {
 	h := &p.Header
 	if len(h.Waypoints) == 0 {
-		return nil, fmt.Errorf("packet: no waypoints")
+		return nil, fmt.Errorf("packet: no waypoints: %w", ErrWaypointCount)
 	}
 	if len(h.Waypoints) > MaxWaypoints {
-		return nil, fmt.Errorf("packet: %d waypoints exceeds max %d", len(h.Waypoints), MaxWaypoints)
+		return nil, fmt.Errorf("packet: %d waypoints exceeds max %d: %w",
+			len(h.Waypoints), MaxWaypoints, ErrWaypointCount)
+	}
+	if h.Width > MaxWidthMeters {
+		return nil, fmt.Errorf("packet: width %d m: %w", h.Width, ErrWidthRange)
+	}
+	if rb := h.routeBytes(); rb > MaxRouteBytes {
+		return nil, fmt.Errorf("packet: route encodes to %d bytes: %w", rb, ErrRouteTooLong)
+	}
+	if len(p.Payload) > MaxPayloadLen {
+		return nil, fmt.Errorf("packet: payload %d bytes: %w", len(p.Payload), ErrPayloadTooLarge)
+	}
+	if h.Flags&FlagGeocast != 0 && h.Target.Radius > MaxGeocastRadius {
+		return nil, fmt.Errorf("packet: geocast radius %d: %w", h.Target.Radius, ErrGeocastRadius)
 	}
 	start := len(dst)
 	dst = append(dst, Magic, (Version<<4)|(h.Flags&0x0f), h.TTL)
@@ -145,21 +158,24 @@ func (p *Packet) Encode(dst []byte) ([]byte, error) {
 // Decode parses a CityMesh frame. The returned packet's Payload aliases b;
 // callers that retain the packet beyond the buffer's lifetime must copy.
 func Decode(b []byte) (*Packet, error) {
+	if len(b) > MaxFrameLen {
+		return nil, fmt.Errorf("packet: %d-byte frame: %w", len(b), ErrFrameTooLarge)
+	}
 	if len(b) < 4 {
 		return nil, ErrShortBuffer
 	}
 	body, trailer := b[:len(b)-4], b[len(b)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(trailer) {
-		return nil, fmt.Errorf("packet: CRC mismatch")
+		return nil, ErrBadCRC
 	}
 	if len(body) < 14 {
 		return nil, ErrShortBuffer
 	}
 	if body[0] != Magic {
-		return nil, fmt.Errorf("packet: bad magic 0x%02x", body[0])
+		return nil, fmt.Errorf("packet: magic 0x%02x: %w", body[0], ErrBadMagic)
 	}
 	if v := body[1] >> 4; v != Version {
-		return nil, fmt.Errorf("packet: unsupported version %d", v)
+		return nil, fmt.Errorf("packet: version %d: %w", v, ErrBadVersion)
 	}
 	p := &Packet{}
 	h := &p.Header
@@ -167,6 +183,9 @@ func Decode(b []byte) (*Packet, error) {
 	h.TTL = body[2]
 	h.MsgID = binary.BigEndian.Uint64(body[3:11])
 	h.Width = body[11]
+	if h.Width > MaxWidthMeters {
+		return nil, fmt.Errorf("packet: width %d m: %w", h.Width, ErrWidthRange)
+	}
 	off := 12
 
 	count, n, err := Uvarint(body[off:])
@@ -175,8 +194,9 @@ func Decode(b []byte) (*Packet, error) {
 	}
 	off += n
 	if count == 0 || count > MaxWaypoints {
-		return nil, fmt.Errorf("packet: waypoint count %d out of range", count)
+		return nil, fmt.Errorf("packet: waypoint count %d: %w", count, ErrWaypointCount)
 	}
+	routeStart := off - n
 	h.Waypoints = make([]uint32, count)
 	prev := int64(0)
 	for i := range h.Waypoints {
@@ -192,10 +212,13 @@ func Decode(b []byte) (*Packet, error) {
 			v = prev + UnZigZag(u)
 		}
 		if v < 0 || v > 1<<31 {
-			return nil, fmt.Errorf("packet: waypoint %d out of range", v)
+			return nil, fmt.Errorf("packet: waypoint %d: %w", v, ErrWaypointRange)
 		}
 		h.Waypoints[i] = uint32(v)
 		prev = v
+	}
+	if off-routeStart > MaxRouteBytes {
+		return nil, fmt.Errorf("packet: route is %d bytes: %w", off-routeStart, ErrRouteTooLong)
 	}
 	if h.Flags&FlagPostbox != 0 {
 		if len(body) < off+PostboxAddrLen {
@@ -220,14 +243,21 @@ func Decode(b []byte) (*Packet, error) {
 			return nil, err
 		}
 		off += n
-		if rad > 1<<24 {
-			return nil, fmt.Errorf("packet: geocast radius %d out of range", rad)
+		if rad > MaxGeocastRadius {
+			return nil, fmt.Errorf("packet: geocast radius %d: %w", rad, ErrGeocastRadius)
+		}
+		cxv, cyv := UnZigZag(cx), UnZigZag(cy)
+		if cxv < -1<<31 || cxv > 1<<31-1 || cyv < -1<<31 || cyv > 1<<31-1 {
+			return nil, fmt.Errorf("packet: geocast center (%d,%d): %w", cxv, cyv, ErrGeocastRadius)
 		}
 		h.Target = GeocastArea{
-			CenterX: int32(UnZigZag(cx)),
-			CenterY: int32(UnZigZag(cy)),
+			CenterX: int32(cxv),
+			CenterY: int32(cyv),
 			Radius:  uint32(rad),
 		}
+	}
+	if len(body)-off > MaxPayloadLen {
+		return nil, fmt.Errorf("packet: payload %d bytes: %w", len(body)-off, ErrPayloadTooLarge)
 	}
 	p.Payload = body[off:]
 	return p, nil

@@ -42,6 +42,13 @@ type Store struct {
 	// every retrieval; it powers push notifications.
 	lastSeen map[Address]int
 	push     PushFunc
+
+	// persist is the optional disk attachment (see persist.go); nil for a
+	// purely in-memory store.
+	persist *persister
+	// compactAt carries WithCompactThreshold until OpenDir builds the
+	// persister.
+	compactAt int64
 }
 
 // StoreOption configures a Store.
@@ -100,6 +107,7 @@ func (s *Store) Put(to Address, sealed []byte, urgent bool) StoredMessage {
 		box = box[len(box)-s.maxPerBox:]
 	}
 	s.boxes[to] = box
+	s.logPut(&msg)
 	push := s.push
 	last, hasLoc := s.lastSeen[to]
 	s.mu.Unlock()
@@ -133,17 +141,27 @@ func (s *Store) Retrieve(addr Address, afterSeq uint64, currentBuilding int) []S
 func (s *Store) Ack(addr Address, seq uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.ackLocked(addr, seq) {
+		s.logAck(addr, seq)
+	}
+}
+
+// ackLocked removes acknowledged messages and reports whether anything was
+// dropped; called with s.mu held (also by log replay, which must not
+// re-log).
+func (s *Store) ackLocked(addr Address, seq uint64) bool {
 	box := s.boxes[addr]
 	i := sort.Search(len(box), func(i int) bool { return box[i].Seq > seq })
 	if i == 0 {
-		return
+		return false
 	}
 	remaining := box[i:]
 	if len(remaining) == 0 {
 		delete(s.boxes, addr)
-		return
+		return true
 	}
 	s.boxes[addr] = append([]StoredMessage(nil), remaining...)
+	return true
 }
 
 // Expire drops messages older than the retention window. It returns the
@@ -169,6 +187,20 @@ func (s *Store) Expire() int {
 		}
 	}
 	return dropped
+}
+
+// Totals reports the number of non-empty postboxes and total held
+// messages (status dumps, tests).
+func (s *Store) Totals() (boxes, messages int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, box := range s.boxes {
+		if len(box) > 0 {
+			boxes++
+			messages += len(box)
+		}
+	}
+	return boxes, messages
 }
 
 // Len returns the number of messages currently held for addr.
