@@ -13,7 +13,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := net.RandomPairs(1, 100)
+	pairs, err := net.RandomPairs(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range pairs {
 		if !net.Reachable(p[0], p[1]) {
 			continue

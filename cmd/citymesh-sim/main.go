@@ -3,6 +3,9 @@
 // with fault injection enabled, the disaster-scenario resilience sweep:
 // delivery rate versus failure fraction for plain conduit routing and for
 // the SendReliable escalation ladder (retry → widen → multipath → flood).
+// The -heal flag runs the self-healing evaluation instead: the ladder with
+// per-sender route-health memory against the plain ladder, plus the
+// partition-aware store-and-heal phase across a recovery.
 //
 // Usage:
 //
@@ -10,43 +13,68 @@
 //	             [-seed 1] [-scale 1.0] [-csv]
 //	citymesh-sim -fail-mode=uniform -fail-frac=0.1,0.3,0.5 -reliable
 //	citymesh-sim -cities=boston -fail-mode=flood -fail-frac=0.3 -reliable
+//	citymesh-sim -heal -fail-mode=disk -fail-frac=0.3 -heal-decay=30 -recover-at=60
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"citymesh/internal/experiments"
 	"citymesh/internal/faults"
+	"citymesh/internal/health"
 	"citymesh/internal/svgrender"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags parse from args,
+// output goes to the writers, and the exit code is returned instead of
+// calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("citymesh-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		cities       = flag.String("cities", "", "comma-separated preset cities (default: all)")
-		reachPairs   = flag.Int("reach-pairs", 1000, "random building pairs tested for reachability")
-		deliverPairs = flag.Int("deliver-pairs", 50, "reachable pairs run through the event simulation")
-		seed         = flag.Int64("seed", 1, "experiment seed")
-		scale        = flag.Float64("scale", 1.0, "shrink city extents by this factor (0,1]")
-		csv          = flag.Bool("csv", false, "emit CSV instead of a table")
-		svg          = flag.String("svg", "", "also render the Figure 6 bar chart to this SVG file")
+		cities       = fs.String("cities", "", "comma-separated preset cities (default: all)")
+		reachPairs   = fs.Int("reach-pairs", 1000, "random building pairs tested for reachability")
+		deliverPairs = fs.Int("deliver-pairs", 50, "reachable pairs run through the event simulation")
+		seed         = fs.Int64("seed", 1, "experiment seed")
+		scale        = fs.Float64("scale", 1.0, "shrink city extents by this factor (0,1]")
+		csv          = fs.Bool("csv", false, "emit CSV instead of a table")
+		svg          = fs.String("svg", "", "also render the Figure 6 bar chart to this SVG file")
 
-		failMode = flag.String("fail-mode", "", "fault injector: "+strings.Join(faults.Modes(), ", ")+
+		failMode = fs.String("fail-mode", "", "fault injector: "+strings.Join(faults.Modes(), ", ")+
 			" (enables the resilience sweep)")
-		failFrac = flag.String("fail-frac", "0,0.1,0.2,0.3,0.4,0.5",
-			"comma-separated failure fractions to sweep")
-		reliable = flag.Bool("reliable", false,
+		failFrac = fs.String("fail-frac", "0,0.1,0.2,0.3,0.4,0.5",
+			"comma-separated failure fractions to sweep (the -heal run uses the first value)")
+		reliable = fs.Bool("reliable", false,
 			"also run the SendReliable escalation ladder per pair (resilience sweep always reports both)")
-		pairs = flag.Int("pairs", 30, "building pairs per resilience cell")
-	)
-	flag.Parse()
+		pairs = fs.Int("pairs", 30, "building pairs per resilience cell")
 
+		heal = fs.Bool("heal", false,
+			"run the self-healing evaluation: ladder+route-health memory vs plain ladder, then store-and-heal")
+		healDecay = fs.Float64("heal-decay", 0,
+			"suspicion decay e-folding time in sim seconds (0 = default)")
+		recoverAt = fs.Float64("recover-at", 60,
+			"sim instant at which injected failures heal during the -heal store-and-heal phase (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *heal {
+		return runSelfHealing(fs, *cities, *failMode, *failFrac, *pairs, *seed,
+			*scale, *healDecay, *recoverAt, *csv, stdout, stderr)
+	}
 	if *failMode != "" && faults.Mode(*failMode) != faults.ModeNone {
-		runResilience(*cities, *failMode, *failFrac, *pairs, *seed, *scale, *csv, *reliable)
-		return
+		return runResilience(*cities, *failMode, *failFrac, *pairs, *seed, *scale,
+			*csv, *reliable, stdout, stderr)
 	}
 
 	cfg := experiments.Figure6Config{
@@ -60,13 +88,13 @@ func main() {
 	}
 	rows, err := experiments.Figure6(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "citymesh-sim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "citymesh-sim:", err)
+		return 1
 	}
 	if *csv {
-		fmt.Print(experiments.Figure6CSV(rows))
+		fmt.Fprint(stdout, experiments.Figure6CSV(rows))
 	} else {
-		fmt.Print(experiments.Figure6Text(rows))
+		fmt.Fprint(stdout, experiments.Figure6Text(rows))
 	}
 	if *svg != "" {
 		groups := make([]svgrender.BarGroup, 0, len(rows))
@@ -78,25 +106,23 @@ func main() {
 		}
 		f, err := os.Create(*svg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "citymesh-sim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "citymesh-sim:", err)
+			return 1
 		}
 		defer f.Close()
 		if err := svgrender.RenderGroupedBarChart(f,
 			"Figure 6: reachability and deliverability per city",
 			[]string{"reachability", "deliverability"}, groups, 1); err != nil {
-			fmt.Fprintln(os.Stderr, "citymesh-sim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "citymesh-sim:", err)
+			return 1
 		}
-		fmt.Println("wrote", f.Name())
+		fmt.Fprintln(stdout, "wrote", f.Name())
 	}
+	return 0
 }
 
-// runResilience executes the fault-injection sweep. The -reliable flag is
-// accepted for CLI symmetry with the README examples; the sweep reports
-// plain and ladder delivery side by side either way.
-func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, csv, reliable bool) {
-	_ = reliable
+// parseFracs parses a comma-separated failure-fraction list.
+func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 	var fracs []float64
 	for _, s := range strings.Split(fracsCSV, ",") {
 		s = strings.TrimSpace(s)
@@ -105,10 +131,22 @@ func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale f
 		}
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil || f < 0 || f > 1 {
-			fmt.Fprintf(os.Stderr, "citymesh-sim: bad -fail-frac value %q\n", s)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "citymesh-sim: bad -fail-frac value %q\n", s)
+			return nil, false
 		}
 		fracs = append(fracs, f)
+	}
+	return fracs, true
+}
+
+// runResilience executes the fault-injection sweep. The -reliable flag is
+// accepted for CLI symmetry with the README examples; the sweep reports
+// plain and ladder delivery side by side either way.
+func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, csv, reliable bool, stdout, stderr io.Writer) int {
+	_ = reliable
+	fracs, ok := parseFracs(fracsCSV, stderr)
+	if !ok {
+		return 2
 	}
 	cfg := experiments.ResilienceConfig{
 		Mode:  faults.Mode(mode),
@@ -122,12 +160,62 @@ func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale f
 	}
 	rows, err := experiments.Resilience(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "citymesh-sim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "citymesh-sim:", err)
+		return 1
 	}
 	if csv {
-		fmt.Print(experiments.ResilienceCSV(rows))
+		fmt.Fprint(stdout, experiments.ResilienceCSV(rows))
 	} else {
-		fmt.Print(experiments.ResilienceText(rows))
+		fmt.Fprint(stdout, experiments.ResilienceText(rows))
 	}
+	return 0
+}
+
+// runSelfHealing executes the PR 3 evaluation: ladder-with-memory vs plain
+// ladder, then partition-aware store-and-heal across a recovery.
+func runSelfHealing(fs *flag.FlagSet, cities, mode, fracsCSV string, pairs int, seed int64, scale, healDecay, recoverAt float64, csv bool, stdout, stderr io.Writer) int {
+	cfg := experiments.DefaultSelfHealingConfig()
+	if cities != "" {
+		cfg.City = strings.Split(cities, ",")[0]
+	}
+	if mode != "" {
+		cfg.Mode = faults.Mode(mode)
+	}
+	// The sweep flag's default list starts at 0; only an explicit
+	// -fail-frac overrides the self-healing default fraction.
+	fracSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "fail-frac" {
+			fracSet = true
+		}
+	})
+	if fracSet {
+		fracs, ok := parseFracs(fracsCSV, stderr)
+		if !ok {
+			return 2
+		}
+		if len(fracs) > 0 {
+			cfg.Frac = fracs[0]
+		}
+	}
+	cfg.Pairs = pairs
+	cfg.Seed = seed
+	cfg.Scale = scale
+	cfg.RecoverAt = recoverAt
+	if healDecay > 0 {
+		hc := health.DefaultConfig()
+		hc.DecayTau = healDecay
+		cfg.Health = hc
+	}
+	res, err := experiments.SelfHealing(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "citymesh-sim:", err)
+		return 1
+	}
+	if csv {
+		fmt.Fprint(stdout, experiments.SelfHealingCSV(res))
+	} else {
+		fmt.Fprint(stdout, experiments.SelfHealingText(res))
+	}
+	return 0
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCmd invokes the command seam and returns (exit, stdout, stderr).
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	code, _, stderr := runCmd(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr should name the bad flag:\n%s", stderr)
+	}
+}
+
+func TestRunRejectsBadFailFrac(t *testing.T) {
+	code, _, stderr := runCmd(t, "-fail-mode=uniform", "-fail-frac=1.5")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bad -fail-frac") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	if code, _, _ := runCmd(t, "-heal", "-fail-frac=nope"); code != 2 {
+		t.Fatalf("heal with bad frac: exit = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsUnknownCity(t *testing.T) {
+	code, _, stderr := runCmd(t, "-cities=atlantis", "-reach-pairs=10", "-deliver-pairs=2")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "atlantis") {
+		t.Errorf("stderr = %q", stderr)
+	}
+	if code, _, _ := runCmd(t, "-heal", "-cities=atlantis"); code != 1 {
+		t.Fatalf("heal with unknown city: exit = %d, want 1", code)
+	}
+}
+
+func TestRunRejectsUnknownFaultMode(t *testing.T) {
+	code, _, stderr := runCmd(t, "-fail-mode=earthquake", "-fail-frac=0.1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "earthquake") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestRunFigure6Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-cities=gridtown", "-scale=0.3", "-reach-pairs=50", "-deliver-pairs=5")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "gridtown") {
+		t.Errorf("figure 6 table missing the city:\n%s", stdout)
+	}
+}
+
+func TestRunResilienceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-cities=gridtown", "-scale=0.3", "-fail-mode=uniform", "-fail-frac=0.3",
+		"-pairs=5", "-reliable")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "uniform") || !strings.Contains(stdout, "gridtown") {
+		t.Errorf("resilience table malformed:\n%s", stdout)
+	}
+}
+
+func TestRunHealSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-heal", "-cities=gridtown", "-scale=0.3", "-fail-mode=disk",
+		"-fail-frac=0.3", "-pairs=8", "-heal-decay=45", "-recover-at=60")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"ladder+health", "store-and-heal"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("heal report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestRunHealCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-heal", "-cities=gridtown", "-scale=0.3", "-pairs=5", "-csv")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "city,mode,fail_frac") {
+		t.Errorf("csv output malformed:\n%s", stdout)
+	}
+}

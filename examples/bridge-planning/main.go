@@ -22,7 +22,10 @@ func main() {
 	}
 
 	measure := func() float64 {
-		pairs := net.RandomPairs(11, 1000)
+		pairs, err := net.RandomPairs(11, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
 		reachable := 0
 		for _, p := range pairs {
 			if net.Reachable(p[0], p[1]) {

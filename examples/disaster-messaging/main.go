@@ -39,7 +39,11 @@ func main() {
 
 	// Pick Bob's postbox building and a reachable building for Alice.
 	var aliceB, bobB int
-	for _, p := range net.RandomPairs(7, 500) {
+	pairs, err := net.RandomPairs(7, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
 		if net.Reachable(p[0], p[1]) {
 			if _, err := net.PlanRoute(p[0], p[1]); err == nil {
 				aliceB, bobB = p[0], p[1]

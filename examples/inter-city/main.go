@@ -101,7 +101,11 @@ func pickGateway(net *citymesh.Network) int {
 
 // pickReachable returns a building that can reach the region's gateway.
 func pickReachable(r *internetwork.Region, seed int64) int {
-	for _, p := range r.Net.RandomPairs(seed, 300) {
+	pairs, err := r.Net.RandomPairs(seed, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
 		b := p[0]
 		if b == r.Gateway || !r.Net.Reachable(b, r.Gateway) {
 			continue

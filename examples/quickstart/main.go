@@ -27,7 +27,11 @@ func main() {
 	// where the realized AP placement leaves a >range gap inside the band.
 	var res citymesh.SendResult
 	var src, dst, attempts int
-	for _, p := range net.RandomPairs(42, 500) {
+	pairs, err := net.RandomPairs(42, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !net.Reachable(p[0], p[1]) {
 			continue
 		}

@@ -40,7 +40,11 @@ func main() {
 	// deliverable so the socket run exercises a live conduit.
 	var src, dst int
 	found := false
-	for _, p := range full.RandomPairs(5, 500) {
+	pairs, err := full.RandomPairs(5, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !full.Reachable(p[0], p[1]) {
 			continue
 		}

@@ -44,7 +44,11 @@ func TestFullPipelineOSMToDelivery(t *testing.T) {
 
 	delivered := 0
 	attempted := 0
-	for _, p := range net.RandomPairs(1, 300) {
+	pairs, err := net.RandomPairs(1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !net.Reachable(p[0], p[1]) {
 			continue
 		}
@@ -101,7 +105,11 @@ func TestFullPipelinePostboxRoundTrip(t *testing.T) {
 	// postbox building.
 	var aliceB, bobB int
 	found := false
-	for _, p := range net.RandomPairs(2, 300) {
+	pairs, err := net.RandomPairs(2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !net.Reachable(p[0], p[1]) {
 			continue
 		}

@@ -31,7 +31,11 @@ func testNetwork(t testing.TB, seed int64) *core.Network {
 func reachablePacket(t testing.TB, n *core.Network, seed int64) *packet.Packet {
 	t.Helper()
 	var fallback *packet.Packet
-	for _, p := range n.RandomPairs(seed, 300) {
+	pairs, err := n.RandomPairs(seed, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !n.Reachable(p[0], p[1]) {
 			continue
 		}
@@ -319,7 +323,11 @@ func BenchmarkHubFlood(b *testing.B) {
 	}
 	// One fixed deliverable packet template.
 	var tmpl *packet.Packet
-	for _, p := range n.RandomPairs(1, 300) {
+	pairs, err := n.RandomPairs(1, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !n.Reachable(p[0], p[1]) {
 			continue
 		}

@@ -119,7 +119,11 @@ func TestGeocastCoverage(t *testing.T) {
 	center := geo.Pt(400, 300)
 	radius := 120.0
 	src := -1
-	for _, p := range n.RandomPairs(1, 100) {
+	pairs, err := n.RandomPairs(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if n.City.Buildings[p[0]].Centroid.Dist(center) > radius*2 {
 			anchor := n.Graph.NearestBuilding(center)
 			if n.Reachable(p[0], anchor) {
@@ -373,7 +377,11 @@ func TestRetrieveOverMesh(t *testing.T) {
 	// Find a device/postbox pair where both directions deliver.
 	var deviceB, postboxB int
 	found := false
-	for _, p := range n.RandomPairs(5, 300) {
+	pairs, err := n.RandomPairs(5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !n.Reachable(p[0], p[1]) {
 			continue
 		}

@@ -164,10 +164,25 @@ func (g *Graph) Neighbors(v int, fn func(w int, gap float64)) {
 // predicted graph.
 var ErrNoPath = fmt.Errorf("buildinggraph: no predicted path")
 
+// VertexPenalty returns a multiplicative cost factor for routing *through*
+// building v. Every edge entering v has its weight multiplied by the
+// factor, so a penalty of 1 leaves the building unchanged and a large
+// penalty makes Dijkstra route around it. A nil VertexPenalty means no
+// penalties. This is how route-health memory (internal/health) steers
+// planning around suspected-dead regions.
+type VertexPenalty func(v int) float64
+
 // ShortestPath runs Dijkstra from src to dst and returns the building index
 // sequence (inclusive of both endpoints) and its total weight.
 func (g *Graph) ShortestPath(src, dst int) ([]int, float64, error) {
-	return g.shortestPathPenalized(src, dst, nil)
+	return g.shortestPathPenalized(src, dst, nil, nil)
+}
+
+// ShortestPathPenalized is ShortestPath with per-building cost multipliers
+// applied (damage-aware planning). A nil penalty is identical to
+// ShortestPath.
+func (g *Graph) ShortestPathPenalized(src, dst int, vp VertexPenalty) ([]int, float64, error) {
+	return g.shortestPathPenalized(src, dst, nil, vp)
 }
 
 // pqItem is a Dijkstra frontier entry.
@@ -192,9 +207,12 @@ func edgeKey(a, b int) [2]int32 {
 	return [2]int32{int32(a), int32(b)}
 }
 
-// shortestPathPenalized is Dijkstra with an optional multiplicative penalty
-// per undirected edge (the diverse-multipath mechanism).
-func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64) ([]int, float64, error) {
+// shortestPathPenalized is Dijkstra with two optional multiplicative
+// penalty layers: per undirected edge (the diverse-multipath mechanism)
+// and per vertex (the route-health mechanism). The layers compose — a
+// diverse replan under health penalties avoids both used corridors and
+// suspected-dead regions.
+func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64, vp VertexPenalty) ([]int, float64, error) {
 	n := len(g.adj)
 	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return nil, 0, fmt.Errorf("buildinggraph: building out of range (%d, %d of %d)", src, dst, n)
@@ -228,6 +246,13 @@ func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64
 					w *= f
 				}
 			}
+			// The vertex penalty is charged on entry, so routing *through*
+			// a suspect building pays once per traversal; the destination's
+			// own penalty shifts every candidate path equally and cannot
+			// change the argmin.
+			if vp != nil {
+				w *= vp(int(e.to))
+			}
 			if nd := it.dist + w; nd < dist[e.to] {
 				dist[e.to] = nd
 				prev[e.to] = int32(v)
@@ -255,6 +280,14 @@ func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64
 // paths may return in narrow topologies. The first path is always the true
 // shortest path.
 func (g *Graph) DiversePaths(src, dst, k int, penalty float64) ([][]int, error) {
+	return g.DiversePathsPenalized(src, dst, k, penalty, nil)
+}
+
+// DiversePathsPenalized is DiversePaths under per-building cost multipliers
+// (see VertexPenalty): every Dijkstra run avoids suspected-dead regions in
+// addition to already-used corridors, so the k routes are diverse *and*
+// damage-aware. A nil vp is identical to DiversePaths.
+func (g *Graph) DiversePathsPenalized(src, dst, k int, penalty float64, vp VertexPenalty) ([][]int, error) {
 	if k <= 0 {
 		k = 1
 	}
@@ -265,7 +298,7 @@ func (g *Graph) DiversePaths(src, dst, k int, penalty float64) ([][]int, error) 
 	seen := make(map[string]bool)
 	var paths [][]int
 	for i := 0; i < k; i++ {
-		path, _, err := g.shortestPathPenalized(src, dst, factors)
+		path, _, err := g.shortestPathPenalized(src, dst, factors, vp)
 		if err != nil {
 			if i == 0 {
 				return nil, err

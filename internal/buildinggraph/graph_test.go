@@ -189,6 +189,76 @@ func pathCost(t *testing.T, g *Graph, path []int) float64 {
 	return total
 }
 
+func TestShortestPathPenalizedRoutesAroundSuspect(t *testing.T) {
+	// A 2x3 grid: two equal-cost corridors between opposite corners. A
+	// heavy vertex penalty on one corridor's interior must force the route
+	// through the other, and lifting the penalty must restore free choice.
+	city := rowCity(
+		geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0), // bottom: 0 1 2
+		geo.Pt(0, 40), geo.Pt(40, 40), geo.Pt(80, 40), // top: 3 4 5
+	)
+	g := Build(city, DefaultConfig())
+	base, baseCost, err := g.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 3 || base[1] != 1 {
+		t.Fatalf("unpenalized path = %v, want straight bottom corridor", base)
+	}
+	// Suspect the bottom midpoint: the planner must detour over the top.
+	vp := func(v int) float64 {
+		if v == 1 {
+			return 1000
+		}
+		return 1
+	}
+	path, cost, err := g.ShortestPathPenalized(0, 2, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range path {
+		if v == 1 {
+			t.Fatalf("penalized path %v still routes through suspect building 1", path)
+		}
+	}
+	if cost <= baseCost {
+		t.Errorf("detour cost %v should exceed direct cost %v", cost, baseCost)
+	}
+	// A nil penalty is exactly ShortestPath.
+	same, sameCost, err := g.ShortestPathPenalized(0, 2, nil)
+	if err != nil || sameCost != baseCost || len(same) != len(base) {
+		t.Errorf("nil-penalty path = %v cost %v, want %v cost %v", same, sameCost, base, baseCost)
+	}
+}
+
+func TestDiversePathsPenalizedAvoidsSuspects(t *testing.T) {
+	city := rowCity(
+		geo.Pt(0, 0), geo.Pt(40, 0), geo.Pt(80, 0),
+		geo.Pt(0, 40), geo.Pt(40, 40), geo.Pt(80, 40),
+	)
+	g := Build(city, DefaultConfig())
+	vp := func(v int) float64 {
+		if v == 1 {
+			return 1000
+		}
+		return 1
+	}
+	paths, err := g.DiversePathsPenalized(0, 2, 3, 16, vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	// The *first* diverse path must already avoid the suspect (the
+	// suspicion penalty dominates the diversity penalty).
+	for _, v := range paths[0] {
+		if v == 1 {
+			t.Fatalf("first penalized diverse path %v routes through suspect", paths[0])
+		}
+	}
+}
+
 func TestNearestBuilding(t *testing.T) {
 	city := rowCity(geo.Pt(0, 0), geo.Pt(100, 0), geo.Pt(200, 0))
 	g := Build(city, DefaultConfig())

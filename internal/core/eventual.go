@@ -1,0 +1,163 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"citymesh/internal/postbox"
+	"citymesh/internal/sim"
+)
+
+// EventualConfig tunes SendEventually's healing scheduler.
+type EventualConfig struct {
+	// MaxAttempts caps the number of full ladder runs, including the
+	// first (default 8).
+	MaxAttempts int
+	// BackoffBase is the healing backoff after the first exhausted
+	// ladder, in sim seconds (default 0.5). Each further exhaustion
+	// doubles it.
+	BackoffBase float64
+	// BackoffMax caps the healing backoff (default 30 s).
+	BackoffMax float64
+	// ParkAfter is the number of consecutive exhausted ladders before the
+	// destination is classified partitioned and the message is parked in
+	// the sender's postbox store (default 2).
+	ParkAfter int
+}
+
+// DefaultEventualConfig returns the evaluation healing scheduler: up to 8
+// ladder runs, 0.5 s → 30 s capped exponential backoff, park after 2
+// exhaustions.
+func DefaultEventualConfig() EventualConfig {
+	return EventualConfig{MaxAttempts: 8, BackoffBase: 0.5, BackoffMax: 30, ParkAfter: 2}
+}
+
+// EventualResult is the outcome of a store-and-heal delivery run.
+type EventualResult struct {
+	// Delivered reports whether any ladder run eventually delivered.
+	Delivered bool
+	// Partitioned reports whether the destination was classified
+	// partitioned (ParkAfter consecutive exhausted ladders).
+	Partitioned bool
+	// Parked reports whether the message was parked in the postbox store.
+	Parked bool
+	// ParkedSeq is the store sequence number of the parked copy (valid
+	// when Parked).
+	ParkedSeq uint64
+	// HealedFromPark reports a delivery that happened *after* parking —
+	// the store-and-heal success case; the parked copy is acked away.
+	HealedFromPark bool
+	// Attempts is the number of ladder runs performed.
+	Attempts int
+	// TimeToHeal is the simulated time elapsed from the first transmission
+	// until the run ended: with Delivered set it is the time-to-heal, the
+	// headline metric of the store-and-heal scheduler.
+	TimeToHeal float64
+	// TotalBroadcasts sums transmissions across every ladder run.
+	TotalBroadcasts int
+	// Ladders records each ladder run in order.
+	Ladders []ReliableResult
+}
+
+// BuildingAddress derives the deterministic postbox address under which
+// messages for a destination building are parked awaiting mesh healing.
+func BuildingAddress(b int) postbox.Address {
+	var a postbox.Address
+	binary.BigEndian.PutUint64(a[:], uint64(b))
+	return a
+}
+
+// ParkedStore returns the sender's store of messages parked for
+// partitioned destinations, creating it on first use.
+func (n *Network) ParkedStore() *postbox.Store {
+	if n.parked == nil {
+		n.parked = postbox.NewStore()
+	}
+	return n.parked
+}
+
+// SendEventually is partition-aware store-and-heal delivery: it runs the
+// SendReliable ladder, and when the full ladder exhausts repeatedly it
+// classifies the destination as partitioned, parks the message in the
+// sender's postbox store, and keeps re-attempting under a capped
+// exponential backoff as the failure schedule (churn, injected recovery)
+// restores nodes. Each re-attempt advances the simulated clock, and the
+// simulator consults the failure schedule at that *shifted* time — so a
+// mesh that heals mid-run genuinely becomes reachable mid-run. The
+// returned TimeToHeal is the sim time from first transmission to eventual
+// delivery.
+//
+// The run is deterministic under fixed seeds: the healing backoff carries
+// no jitter (the per-ladder backoffs inside SendReliable already
+// de-synchronize concurrent senders).
+func (n *Network) SendEventually(src, dst int, payload []byte, simCfg sim.Config, rcfg ReliableConfig, ecfg EventualConfig) (EventualResult, error) {
+	if err := rcfg.Validate(); err != nil {
+		return EventualResult{}, err
+	}
+	d := DefaultEventualConfig()
+	if ecfg.MaxAttempts <= 0 {
+		ecfg.MaxAttempts = d.MaxAttempts
+	}
+	if ecfg.BackoffBase <= 0 {
+		ecfg.BackoffBase = d.BackoffBase
+	}
+	if ecfg.BackoffMax <= 0 {
+		ecfg.BackoffMax = d.BackoffMax
+	}
+	if ecfg.BackoffMax < ecfg.BackoffBase {
+		return EventualResult{}, fmt.Errorf("core: EventualConfig backoff base %v > max %v: %w",
+			ecfg.BackoffBase, ecfg.BackoffMax, ErrBackoffInverted)
+	}
+	if ecfg.ParkAfter <= 0 {
+		ecfg.ParkAfter = d.ParkAfter
+	}
+
+	out := EventualResult{}
+	var parked postbox.StoredMessage
+	baseSchedule := simCfg.Schedule
+	t := 0.0
+	backoff := ecfg.BackoffBase
+	consecExhausted := 0
+	for attempt := 0; attempt < ecfg.MaxAttempts; attempt++ {
+		cfg := simCfg
+		if baseSchedule != nil && t > 0 {
+			cfg.Schedule = sim.OffsetSchedule{Base: baseSchedule, Offset: t}
+		}
+		// Distinct deterministic seeds per attempt: retries must see fresh
+		// loss/jitter realizations, not replay the first failure.
+		cfg.Seed = simCfg.Seed + int64(attempt)*0x9e3779b9
+		rc := rcfg
+		rc.Seed = rcfg.Seed + int64(attempt)*0x9e3779b9
+		rr, err := n.SendReliable(src, dst, payload, cfg, rc)
+		if err != nil {
+			return out, err
+		}
+		out.Attempts++
+		out.TotalBroadcasts += rr.TotalBroadcasts
+		out.Ladders = append(out.Ladders, rr)
+		t += rr.TotalBackoff
+		if rr.Delivered {
+			out.Delivered = true
+			out.TimeToHeal = t
+			if out.Parked {
+				out.HealedFromPark = true
+				n.ParkedStore().Ack(BuildingAddress(dst), parked.Seq)
+			}
+			return out, nil
+		}
+		consecExhausted++
+		if !out.Parked && consecExhausted >= ecfg.ParkAfter {
+			out.Partitioned = true
+			out.Parked = true
+			parked = n.ParkedStore().Put(BuildingAddress(dst), payload, false)
+			out.ParkedSeq = parked.Seq
+		}
+		t += backoff
+		backoff *= 2
+		if backoff > ecfg.BackoffMax {
+			backoff = ecfg.BackoffMax
+		}
+	}
+	out.TimeToHeal = t
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"citymesh/internal/buildinggraph"
 	"citymesh/internal/conduit"
 	"citymesh/internal/routing"
 	"citymesh/internal/sim"
@@ -10,6 +11,10 @@ import (
 type MultipathResult struct {
 	// Routes are the diverse compressed routes attempted, in order.
 	Routes []conduit.Route
+	// Paths are the uncompressed building paths behind Routes. Conduit
+	// compression drops interior buildings a straight corridor traverses;
+	// health feedback needs them (see Network.observeHealth).
+	Paths [][]int
 	// Results are the per-route simulation outcomes.
 	Results []sim.Result
 	// Delivered reports whether any copy arrived.
@@ -24,7 +29,15 @@ type MultipathResult struct {
 // (§1): if some conduits traverse compromised areas, an alternative that
 // avoids them may still deliver.
 func (n *Network) PlanDiverseRoutes(src, dst, k int) ([]conduit.Route, error) {
-	paths, err := n.Graph.DiversePaths(src, dst, k, 16)
+	return n.PlanDiverseRoutesPenalized(src, dst, k, nil)
+}
+
+// PlanDiverseRoutesPenalized is PlanDiverseRoutes under per-building cost
+// multipliers: the diversity penalties compose with the health penalties,
+// so every candidate route is both corridor-diverse and damage-aware. A
+// nil vp is identical to PlanDiverseRoutes.
+func (n *Network) PlanDiverseRoutesPenalized(src, dst, k int, vp buildinggraph.VertexPenalty) ([]conduit.Route, error) {
+	paths, err := n.Graph.DiversePathsPenalized(src, dst, k, 16, vp)
 	if err != nil {
 		return nil, err
 	}
@@ -44,11 +57,25 @@ func (n *Network) PlanDiverseRoutes(src, dst, k int) ([]conduit.Route, error) {
 // ID, so compromised or failed regions that swallow one copy do not
 // suppress the others.
 func (n *Network) MultipathSend(src, dst int, payload []byte, k int, simCfg sim.Config) (MultipathResult, error) {
-	routes, err := n.PlanDiverseRoutes(src, dst, k)
+	return n.MultipathSendPenalized(src, dst, payload, k, simCfg, nil)
+}
+
+// MultipathSendPenalized is MultipathSend with damage-aware route planning
+// (see PlanDiverseRoutesPenalized). A nil vp is identical to MultipathSend.
+func (n *Network) MultipathSendPenalized(src, dst int, payload []byte, k int, simCfg sim.Config, vp buildinggraph.VertexPenalty) (MultipathResult, error) {
+	paths, err := n.Graph.DiversePathsPenalized(src, dst, k, 16, vp)
 	if err != nil {
 		return MultipathResult{}, err
 	}
-	out := MultipathResult{Routes: routes}
+	routes := make([]conduit.Route, 0, len(paths))
+	for _, p := range paths {
+		r, err := conduit.Compress(n.City, p, n.Cfg.ConduitWidth)
+		if err != nil {
+			return MultipathResult{}, err
+		}
+		routes = append(routes, r)
+	}
+	out := MultipathResult{Routes: routes, Paths: paths}
 	for _, r := range routes {
 		pkt, err := n.NewPacket(r, payload)
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"citymesh/internal/citygen"
@@ -10,7 +11,11 @@ import (
 func TestPlanDiverseRoutes(t *testing.T) {
 	n := smallNetwork(t, 301)
 	found := false
-	for _, p := range n.RandomPairs(1, 200) {
+	pairs, err := n.RandomPairs(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		base, err := n.BuildingPath(p[0], p[1])
 		if err != nil || len(base) < 6 {
 			continue
@@ -45,7 +50,11 @@ func TestPlanDiverseRoutes(t *testing.T) {
 
 func TestMultipathSendDeliversAndSumsCost(t *testing.T) {
 	n := smallNetwork(t, 302)
-	for _, p := range n.RandomPairs(2, 200) {
+	pairs, err := n.RandomPairs(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if !n.Reachable(p[0], p[1]) {
 			continue
 		}
@@ -79,7 +88,11 @@ func TestMultipathSendDeliversAndSumsCost(t *testing.T) {
 func TestMultipathSendUnroutable(t *testing.T) {
 	n := smallNetwork(t, 303)
 	// Find a disconnected pair in the building graph, if any.
-	for _, p := range n.RandomPairs(3, 300) {
+	pairs, err := n.RandomPairs(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if _, err := n.BuildingPath(p[0], p[1]); err != nil {
 			if _, err := n.MultipathSend(p[0], p[1], nil, 2, sim.DefaultConfig()); err == nil {
 				t.Error("unroutable pair should error")
@@ -106,5 +119,65 @@ func TestSendResultOverheadEdgeCases(t *testing.T) {
 func TestFromSpecInvalid(t *testing.T) {
 	if _, err := FromSpec(citygen.Spec{}, DefaultConfig()); err == nil {
 		t.Error("invalid spec should error")
+	}
+}
+
+// TestMultipathSendSelfPair: a degenerate src==dst send plans the trivial
+// single-waypoint route and still reports delivery.
+func TestMultipathSendSelfPair(t *testing.T) {
+	n := smallNetwork(t, 304)
+	res, err := n.MultipathSend(3, 3, []byte("x"), 2, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 1 || len(res.Routes[0].Waypoints) != 1 || res.Routes[0].Waypoints[0] != 3 {
+		t.Fatalf("self pair routes = %+v, want one trivial route", res.Routes)
+	}
+	if !res.Delivered {
+		t.Error("self pair should deliver")
+	}
+}
+
+// TestMultipathSendNonPositiveK: k<=0 clamps to a single route rather than
+// erroring or sending nothing.
+func TestMultipathSendNonPositiveK(t *testing.T) {
+	n := smallNetwork(t, 304)
+	for _, k := range []int{0, -3} {
+		res, err := n.MultipathSend(0, 1, nil, k, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(res.Routes) != 1 {
+			t.Fatalf("k=%d planned %d routes, want 1", k, len(res.Routes))
+		}
+	}
+}
+
+// TestMultipathSendKExceedsAvailable: asking for more diversity than the
+// graph offers returns the distinct paths that exist — deduplicated, never
+// padded with repeats. (Dedup is at building-path level; two distinct paths
+// may still compress to the same conduit skeleton.)
+func TestMultipathSendKExceedsAvailable(t *testing.T) {
+	n := smallNetwork(t, 304)
+	res, err := n.MultipathSend(0, 1, nil, 50, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) == 0 || len(res.Routes) > 50 {
+		t.Fatalf("k=50 planned %d routes", len(res.Routes))
+	}
+	if len(res.Paths) != len(res.Routes) {
+		t.Fatalf("paths %d != routes %d", len(res.Paths), len(res.Routes))
+	}
+	seen := map[string]bool{}
+	for _, p := range res.Paths {
+		key := fmt.Sprint(p)
+		if seen[key] {
+			t.Fatalf("duplicate path %v among %d", p, len(res.Paths))
+		}
+		seen[key] = true
+	}
+	if len(res.Results) != len(res.Routes) {
+		t.Fatalf("results %d != routes %d", len(res.Results), len(res.Routes))
 	}
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"citymesh/internal/mesh"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
 	"citymesh/internal/routing"
 	"citymesh/internal/sim"
 )
@@ -73,6 +75,9 @@ type Network struct {
 	Cfg   Config
 
 	msgSeq uint64
+	// parked holds messages awaiting mesh healing for partitioned
+	// destinations (see SendEventually); lazily created by ParkedStore.
+	parked *postbox.Store
 }
 
 // NewNetwork builds the building graph and AP mesh for an already-extracted
@@ -177,7 +182,15 @@ func PlanToCity(p *citygen.Plan) *osm.City {
 // PlanRoute computes the cubed-weight shortest building route from src to
 // dst and compresses it into conduit waypoints (§3 step 2).
 func (n *Network) PlanRoute(src, dst int) (conduit.Route, error) {
-	path, _, err := n.Graph.ShortestPath(src, dst)
+	return n.PlanRoutePenalized(src, dst, nil)
+}
+
+// PlanRoutePenalized is PlanRoute under per-building cost multipliers —
+// damage-aware planning: with a health.Map's penalty function the route
+// detours around suspected-dead regions. A nil vp is identical to
+// PlanRoute.
+func (n *Network) PlanRoutePenalized(src, dst int, vp buildinggraph.VertexPenalty) (conduit.Route, error) {
+	path, _, err := n.Graph.ShortestPathPenalized(src, dst, vp)
 	if err != nil {
 		return conduit.Route{}, err
 	}
@@ -187,6 +200,13 @@ func (n *Network) PlanRoute(src, dst int) (conduit.Route, error) {
 // BuildingPath returns the uncompressed building route (for rendering).
 func (n *Network) BuildingPath(src, dst int) ([]int, error) {
 	path, _, err := n.Graph.ShortestPath(src, dst)
+	return path, err
+}
+
+// BuildingPathPenalized is BuildingPath under per-building cost
+// multipliers (see PlanRoutePenalized).
+func (n *Network) BuildingPathPenalized(src, dst int, vp buildinggraph.VertexPenalty) ([]int, error) {
+	path, _, err := n.Graph.ShortestPathPenalized(src, dst, vp)
 	return path, err
 }
 
@@ -273,12 +293,30 @@ func (n *Network) Send(src, dst int, payload []byte, simCfg sim.Config) (SendRes
 // reachability metric).
 func (n *Network) Reachable(a, b int) bool { return n.Mesh.Reachable(a, b) }
 
+// ErrTooFewBuildings is returned by RandomPairs when the city cannot form
+// a single distinct (src, dst) pair.
+var ErrTooFewBuildings = errors.New("core: city has fewer than 2 buildings")
+
 // RandomPairs returns count distinct (src, dst) building pairs drawn
 // uniformly with the given seed, matching the paper's sampling of 1000
-// unique building pairs.
-func (n *Network) RandomPairs(seed int64, count int) [][2]int {
-	rng := rand.New(rand.NewSource(seed))
+// unique building pairs. A city with fewer than two buildings cannot form
+// any pair and returns ErrTooFewBuildings instead of silently coming back
+// short. When count exceeds the nb*(nb-1) distinct ordered pairs the city
+// offers, the request is capped to that maximum (a documented shortfall,
+// not an error); rejection sampling may fall slightly short of a
+// near-exhaustive cap, never of a typical request.
+func (n *Network) RandomPairs(seed int64, count int) ([][2]int, error) {
 	nb := n.City.NumBuildings()
+	if nb < 2 {
+		return nil, fmt.Errorf("%w (have %d)", ErrTooFewBuildings, nb)
+	}
+	if count <= 0 {
+		return nil, nil
+	}
+	if max := nb * (nb - 1); count > max {
+		count = max
+	}
+	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[[2]int]bool)
 	var out [][2]int
 	maxAttempts := count * 50
@@ -291,5 +329,5 @@ func (n *Network) RandomPairs(seed int64, count int) [][2]int {
 		seen[p] = true
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }

@@ -78,7 +78,10 @@ func TestFromOSMPipeline(t *testing.T) {
 
 func TestPlanRouteAndPacket(t *testing.T) {
 	n := smallNetwork(t, 83)
-	pairs := n.RandomPairs(1, 50)
+	pairs, err := n.RandomPairs(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	planned := 0
 	for _, p := range pairs {
 		r, err := n.PlanRoute(p[0], p[1])
@@ -126,7 +129,10 @@ func TestNewPacketUniqueMsgIDs(t *testing.T) {
 
 func TestSendEndToEnd(t *testing.T) {
 	n := smallNetwork(t, 85)
-	pairs := n.RandomPairs(2, 200)
+	pairs, err := n.RandomPairs(2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
 	delivered := 0
 	attempted := 0
 	for _, p := range pairs {
@@ -158,7 +164,10 @@ func TestSendEndToEnd(t *testing.T) {
 
 func TestRandomPairsUnique(t *testing.T) {
 	n := smallNetwork(t, 86)
-	pairs := n.RandomPairs(3, 100)
+	pairs, err := n.RandomPairs(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pairs) != 100 {
 		t.Fatalf("pairs = %d", len(pairs))
 	}
@@ -173,7 +182,10 @@ func TestRandomPairsUnique(t *testing.T) {
 		seen[p] = true
 	}
 	// Determinism.
-	again := n.RandomPairs(3, 100)
+	again, err := n.RandomPairs(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range pairs {
 		if pairs[i] != again[i] {
 			t.Fatal("RandomPairs not deterministic")
@@ -183,7 +195,10 @@ func TestRandomPairsUnique(t *testing.T) {
 
 func TestBuildingPath(t *testing.T) {
 	n := smallNetwork(t, 87)
-	pairs := n.RandomPairs(4, 50)
+	pairs, err := n.RandomPairs(4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range pairs {
 		path, err := n.BuildingPath(p[0], p[1])
 		if err != nil {

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
+	"citymesh/internal/buildinggraph"
 	"citymesh/internal/conduit"
+	"citymesh/internal/health"
 	"citymesh/internal/packet"
 	"citymesh/internal/routing"
 	"citymesh/internal/sim"
@@ -80,6 +83,49 @@ type ReliableConfig struct {
 	// Seed drives the backoff jitter and per-attempt simulation seeds;
 	// the whole ladder is reproducible under a fixed seed.
 	Seed int64
+	// Health, when non-nil, makes the ladder self-healing: route planning
+	// (direct, widen, and multipath rungs alike) consults the map's
+	// per-building penalties so routes avoid suspected-dead regions, and
+	// every attempt outcome is fed back into the map. The map's clock
+	// advances by each backoff wait, so suspicion decays in the same sim
+	// time the ladder spends.
+	Health *health.Map
+}
+
+// Typed validation errors returned (wrapped) by ReliableConfig.Validate.
+var (
+	// ErrNegativeRetries marks a Retries count below zero.
+	ErrNegativeRetries = errors.New("negative Retries")
+	// ErrBadWidenFactor marks a WidenFactors entry that is zero or
+	// negative (a conduit cannot have non-positive width).
+	ErrBadWidenFactor = errors.New("non-positive widen factor")
+	// ErrBackoffInverted marks BackoffMax set below BackoffBase: the
+	// exponential backoff would cap below its own starting point.
+	ErrBackoffInverted = errors.New("BackoffMax below BackoffBase")
+	// ErrBadJitterFrac marks a JitterFrac outside [0, 1].
+	ErrBadJitterFrac = errors.New("JitterFrac outside [0, 1]")
+)
+
+// Validate rejects nonsensical ladders with typed errors (errors.Is
+// against the Err* sentinels). Zero values are not errors — they select
+// defaults — so only actively contradictory settings fail.
+func (c ReliableConfig) Validate() error {
+	if c.Retries < 0 {
+		return fmt.Errorf("core: ReliableConfig.Retries = %d: %w", c.Retries, ErrNegativeRetries)
+	}
+	for i, f := range c.WidenFactors {
+		if f <= 0 {
+			return fmt.Errorf("core: ReliableConfig.WidenFactors[%d] = %v: %w", i, f, ErrBadWidenFactor)
+		}
+	}
+	if c.BackoffBase > 0 && c.BackoffMax > 0 && c.BackoffMax < c.BackoffBase {
+		return fmt.Errorf("core: ReliableConfig backoff base %v > max %v: %w",
+			c.BackoffBase, c.BackoffMax, ErrBackoffInverted)
+	}
+	if c.JitterFrac < 0 || c.JitterFrac > 1 {
+		return fmt.Errorf("core: ReliableConfig.JitterFrac = %v: %w", c.JitterFrac, ErrBadJitterFrac)
+	}
+	return nil
 }
 
 // DefaultReliableConfig returns the evaluation ladder: 2 retries, widen
@@ -143,15 +189,20 @@ func (r ReliableResult) Overhead() float64 {
 // Between attempts it waits (in simulated time accounting) an
 // exponentially-growing, jittered backoff. The run stops at the first rung
 // that delivers and records which rung won plus the total overhead.
+//
+// With ReliableConfig.Health set the ladder is self-healing: planning
+// routes around buildings the map suspects dead, and every outcome —
+// per-route success and failure, full-ladder exhaustion — feeds back into
+// the map for the next send.
 func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, rcfg ReliableConfig) (ReliableResult, error) {
 	if src < 0 || src >= n.City.NumBuildings() || dst < 0 || dst >= n.City.NumBuildings() {
 		return ReliableResult{}, fmt.Errorf("core: building out of range (%d, %d of %d)",
 			src, dst, n.City.NumBuildings())
 	}
-	d := DefaultReliableConfig()
-	if rcfg.Retries < 0 {
-		rcfg.Retries = 0
+	if err := rcfg.Validate(); err != nil {
+		return ReliableResult{}, err
 	}
+	d := DefaultReliableConfig()
 	if rcfg.MultipathK <= 0 {
 		rcfg.MultipathK = d.MultipathK
 	}
@@ -161,8 +212,17 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	if rcfg.BackoffMax <= 0 {
 		rcfg.BackoffMax = d.BackoffMax
 	}
-	if rcfg.JitterFrac < 0 || rcfg.JitterFrac > 1 {
-		rcfg.JitterFrac = d.JitterFrac
+	if rcfg.BackoffMax < rcfg.BackoffBase {
+		// Only reachable when the max was defaulted under an explicit
+		// base; an explicit inversion already failed Validate.
+		rcfg.BackoffMax = rcfg.BackoffBase
+	}
+	hm := rcfg.Health
+	var vp buildinggraph.VertexPenalty
+	if hm != nil {
+		if f := hm.PenaltyFunc(); f != nil {
+			vp = f
+		}
 	}
 	rng := rand.New(rand.NewSource(rcfg.Seed))
 	out := ReliableResult{Rung: RungExhausted}
@@ -199,17 +259,27 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 		})
 		out.TotalBroadcasts += broadcasts
 		out.TotalBackoff += wait
+		if hm != nil {
+			// The map's suspicion decays in the same sim time the ladder
+			// spends waiting.
+			hm.Advance(wait)
+		}
 		if delivered && !out.Delivered {
 			out.Delivered = true
 			out.Rung = rung
+			if hm != nil {
+				hm.ObserveDelivered(dst)
+			}
 		}
 	}
 
-	// Rung 0 + 1: the direct send, then same-route retransmissions.
-	route, planErr := n.PlanRoute(src, dst)
+	// Rung 0 + 1: the direct send, then same-route retransmissions. Under
+	// a health map the "direct" route is already damage-aware: Dijkstra
+	// pays the suspicion penalty through suspect buildings and detours.
+	route, planErr := n.PlanRoutePenalized(src, dst, vp)
 	var path []int
 	if planErr == nil {
-		path, _ = n.BuildingPath(src, dst)
+		path, _ = n.BuildingPathPenalized(src, dst, vp)
 		for try := 0; try <= rcfg.Retries; try++ {
 			rung := RungDirect
 			if try > 0 {
@@ -228,6 +298,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 				}
 			}
 			record(rung, wait, res.Broadcasts, res.Delivered, "")
+			// Feed back the uncompressed path: conduit compression strips
+			// the interior buildings a straight corridor traverses, and
+			// those are exactly where the evidence is.
+			n.observeHealth(hm, path, res.Delivered)
 			if res.Delivered {
 				return out, nil
 			}
@@ -257,20 +331,29 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			}
 			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
 			record(RungWiden, wait, res.Broadcasts, res.Delivered, "")
+			n.observeHealth(hm, path, res.Delivered)
 			if res.Delivered {
 				return out, nil
 			}
 		}
 	}
 
-	// Rung 3: k spatially diverse routes.
+	// Rung 3: k spatially diverse routes (damage-aware under a health map,
+	// so the diversity penalties compose with the suspicion penalties).
 	{
 		wait := backoff()
-		mp, err := n.MultipathSend(src, dst, payload, rcfg.MultipathK, attemptSim(len(out.Attempts)))
+		mp, err := n.MultipathSendPenalized(src, dst, payload, rcfg.MultipathK, attemptSim(len(out.Attempts)), vp)
 		if err != nil {
 			record(RungMultipath, wait, 0, false, err.Error())
 		} else {
 			record(RungMultipath, wait, mp.TotalBroadcasts, mp.Delivered, "")
+			// Feed back each copy's fate individually: the route that
+			// delivered is healthy evidence even when another copy died.
+			for i, res := range mp.Results {
+				if i < len(mp.Paths) {
+					n.observeHealth(hm, mp.Paths[i], res.Delivered)
+				}
+			}
 			if mp.Delivered {
 				return out, nil
 			}
@@ -308,5 +391,35 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 		res := sim.Run(n.Mesh, n.City, routing.Flood{}, pkt, attemptSim(len(out.Attempts)))
 		record(RungFlood, wait, res.Broadcasts, res.Delivered, "")
 	}
+	if hm != nil && !out.Delivered {
+		// Even the scoped flood failed: the destination is a partition
+		// candidate (see health.Map.Partitioned and SendEventually).
+		hm.ObserveExhausted(dst)
+	}
 	return out, nil
+}
+
+// observeHealth feeds one route's attempt outcome into the health map. Only
+// the route's *interior* waypoints carry evidence — the sender is alive by
+// definition and the destination's reachability is tracked separately by
+// partition classification. On failure, half of FailBump also spreads to
+// the graph neighbors of each interior waypoint: disaster damage is
+// spatially correlated (the disk and flood injectors kill regions, not
+// points), so a failed corridor implicates its surroundings.
+func (n *Network) observeHealth(hm *health.Map, waypoints []int, delivered bool) {
+	if hm == nil || len(waypoints) < 3 {
+		return
+	}
+	interior := waypoints[1 : len(waypoints)-1]
+	if delivered {
+		hm.ObserveSuccess(interior)
+		return
+	}
+	hm.ObserveFailure(interior)
+	spread := hm.Config().FailBump / 2
+	for _, w := range interior {
+		n.Graph.Neighbors(w, func(nb int, _ float64) {
+			hm.AddSuspicion(nb, spread)
+		})
+	}
 }

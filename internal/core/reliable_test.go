@@ -6,6 +6,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/geo"
+	"citymesh/internal/health"
 	"citymesh/internal/osm"
 	"citymesh/internal/sim"
 )
@@ -272,7 +273,11 @@ func TestReliableBeatsPlainSendUnderUniformFailure(t *testing.T) {
 
 	plain, reliable := 0, 0
 	pairs := 0
-	for _, p := range n.RandomPairs(3, 120) {
+	sample, err := n.RandomPairs(3, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range sample {
 		if !n.Reachable(p[0], p[1]) {
 			continue
 		}
@@ -295,5 +300,72 @@ func TestReliableBeatsPlainSendUnderUniformFailure(t *testing.T) {
 	if reliable <= plain {
 		t.Errorf("SendReliable (%d/%d) must beat plain Send (%d/%d) at 30%% failure",
 			reliable, pairs, plain, pairs)
+	}
+}
+
+// TestReliableHealthMapLearnsAndReroutes is the self-healing loop end to
+// end: with the corridor's midpoint dead, the first ladder run pays for the
+// discovery (escalating past the broken direct route), feeds the failure
+// into the health map, and the *second* send's direct route detours around
+// the suspect region — delivering at RungDirect for strictly fewer
+// broadcasts.
+func TestReliableHealthMapLearnsAndReroutes(t *testing.T) {
+	n, src, dst, mid := corridorNetwork(t, 400, 300)
+	simCfg := sim.DefaultConfig()
+	simCfg.FailedAPs = map[int]bool{}
+	for _, ap := range n.Mesh.APsInBuilding(mid) {
+		simCfg.FailedAPs[int(ap)] = true
+	}
+	hm := health.New(health.DefaultConfig())
+	rcfg := DefaultReliableConfig()
+	rcfg.Health = hm
+
+	first, err := n.SendReliable(src, dst, nil, simCfg, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Delivered || first.Rung == RungDirect {
+		t.Fatalf("first send should deliver via an escalated rung, got %+v", first)
+	}
+	if hm.Suspicion(mid) <= 0 {
+		t.Fatalf("failed corridor midpoint %d has no suspicion", mid)
+	}
+
+	second, err := n.SendReliable(src, dst, nil, simCfg, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Delivered || second.Rung != RungDirect {
+		t.Fatalf("second send should reroute and deliver directly, got rung %v", second.Rung)
+	}
+	if second.TotalBroadcasts >= first.TotalBroadcasts {
+		t.Errorf("learned route costs %d broadcasts, first discovery cost %d — no saving",
+			second.TotalBroadcasts, first.TotalBroadcasts)
+	}
+	// The learned detour actually avoids the suspect midpoint.
+	path, err := n.BuildingPathPenalized(src, dst, hm.PenaltyFunc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range path {
+		if b == mid {
+			t.Fatalf("penalized path %v still crosses dead midpoint %d", path, mid)
+		}
+	}
+}
+
+// TestReliableHealthSuspicionDecays: with no fresh failures the suspicion
+// decays toward zero as the map's clock advances, so a healed region is
+// eventually trusted again.
+func TestReliableHealthSuspicionDecays(t *testing.T) {
+	hm := health.New(health.DefaultConfig())
+	hm.ObserveFailure([]int{7})
+	before := hm.Suspicion(7)
+	if before <= 0 {
+		t.Fatal("no suspicion recorded")
+	}
+	hm.Advance(10 * hm.Config().DecayTau)
+	if after := hm.Suspicion(7); after > before/1000 {
+		t.Errorf("suspicion %v barely decayed from %v after 10 taus", after, before)
 	}
 }

@@ -32,8 +32,11 @@ func AblationText(title string, rows []AblationRow) string {
 }
 
 // sampleReachablePairs builds the shared pair sample for ablations.
-func sampleReachablePairs(n *core.Network, seed int64, count int) [][2]int {
-	pairs := n.RandomPairs(seed, count*6)
+func sampleReachablePairs(n *core.Network, seed int64, count int) ([][2]int, error) {
+	pairs, err := n.RandomPairs(seed, count*6)
+	if err != nil {
+		return nil, err
+	}
 	var out [][2]int
 	for _, p := range pairs {
 		if len(out) >= count {
@@ -47,7 +50,7 @@ func sampleReachablePairs(n *core.Network, seed int64, count int) [][2]int {
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // ConduitWidthSweep measures deliverability and overhead as the conduit
@@ -76,7 +79,10 @@ func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []floa
 		if err != nil {
 			return nil, err
 		}
-		pairs := sampleReachablePairs(n, seed, pairCount)
+		pairs, err := sampleReachablePairs(n, seed, pairCount)
+		if err != nil {
+			return nil, err
+		}
 		row := runPairs(n, pairs, fmt.Sprintf("W=%.0fm", w), seed)
 		rows = append(rows, row)
 	}
@@ -107,7 +113,10 @@ func WeightExponentSweep(cityName string, scale float64, seed int64, exponents [
 		if err != nil {
 			return nil, err
 		}
-		pairs := sampleReachablePairs(n, seed, pairCount)
+		pairs, err := sampleReachablePairs(n, seed, pairCount)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, runPairs(n, pairs, fmt.Sprintf("gap^%.0f", e), seed))
 	}
 	return rows, nil
@@ -164,7 +173,10 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount in
 	if err != nil {
 		return nil, err
 	}
-	pairs := sampleReachablePairs(n, seed, pairCount)
+	pairs, err := sampleReachablePairs(n, seed, pairCount)
+	if err != nil {
+		return nil, err
+	}
 
 	policies := []sim.Policy{
 		routing.NewCityMesh(),
@@ -261,7 +273,10 @@ func FailureInjection(cityName string, scale float64, seed int64, fracs []float6
 	if err != nil {
 		return nil, err
 	}
-	pairs := sampleReachablePairs(n, seed, pairCount)
+	pairs, err := sampleReachablePairs(n, seed, pairCount)
+	if err != nil {
+		return nil, err
+	}
 
 	rows := make([]AblationRow, 0, len(fracs))
 	for _, f := range fracs {

@@ -134,7 +134,10 @@ func figure6City(spec citygen.Spec, cfg Figure6Config) (Figure6Row, error) {
 	}
 
 	// Reachability across random unique pairs.
-	pairs := n.RandomPairs(cfg.Seed, cfg.ReachPairs)
+	pairs, err := n.RandomPairs(cfg.Seed, cfg.ReachPairs)
+	if err != nil {
+		return Figure6Row{}, err
+	}
 	row.ReachabilityPairs = len(pairs)
 	var reachable [][2]int
 	for _, p := range pairs {

@@ -57,7 +57,10 @@ func Figure7(cityName string, scale float64, seed int64, w io.Writer) (Figure7Re
 	}
 
 	// Find a long reachable pair so the figure shows a real route.
-	pairs := n.RandomPairs(seed, 500)
+	pairs, err := n.RandomPairs(seed, 500)
+	if err != nil {
+		return Figure7Result{}, err
+	}
 	var src, dst int
 	found := false
 	bestLen := 0.0

@@ -46,7 +46,10 @@ func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, c
 	for _, radius := range radii {
 		row := GeocastRow{RadiusM: radius}
 		var coverages, bcasts, inArea []float64
-		pairs := n.RandomPairs(seed, casts*6)
+		pairs, err := n.RandomPairs(seed, casts*6)
+		if err != nil {
+			return nil, err
+		}
 		for _, p := range pairs {
 			if row.Casts >= casts {
 				break

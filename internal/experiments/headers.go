@@ -45,7 +45,10 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples int) (Heade
 		samples = 200
 	}
 	var routeBits, headerBits, wps, rawWps []float64
-	pairs := n.RandomPairs(seed, samples*4)
+	pairs, err := n.RandomPairs(seed, samples*4)
+	if err != nil {
+		return HeaderSizeResult{}, err
+	}
 	for _, p := range pairs {
 		if len(routeBits) >= samples {
 			break

@@ -37,7 +37,10 @@ func RadioModelSweep(cityName string, scale float64, seed int64, pairCount int) 
 	if err != nil {
 		return nil, err
 	}
-	pairs := sampleReachablePairs(n, seed, pairCount)
+	pairs, err := sampleReachablePairs(n, seed, pairCount)
+	if err != nil {
+		return nil, err
+	}
 
 	type setting struct {
 		name      string

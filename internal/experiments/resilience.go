@@ -106,7 +106,10 @@ func Resilience(cfg ResilienceConfig) ([]ResilienceRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		pairs := sampleReachablePairs(n, cfg.Seed, cfg.Pairs)
+		pairs, err := sampleReachablePairs(n, cfg.Seed, cfg.Pairs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
 		for _, frac := range cfg.Fracs {
 			row, err := resilienceCell(n, name, pairs, frac, cfg)
 			if err != nil {

@@ -46,7 +46,10 @@ func MultipathUnderAttack(cityName string, scale float64, seed int64, fracs []fl
 	if err != nil {
 		return nil, err
 	}
-	pairs := sampleReachablePairs(n, seed, pairCount)
+	pairs, err := sampleReachablePairs(n, seed, pairCount)
+	if err != nil {
+		return nil, err
+	}
 
 	var rows []SecurityRow
 	for _, f := range fracs {

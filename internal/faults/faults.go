@@ -251,6 +251,55 @@ func injectFlood(m *mesh.Mesh, city *osm.City, cfg Config) (Injection, error) {
 	}, nil
 }
 
+// RecoverySchedule models injected repair: a failure realization that
+// heals at a known instant — crews restore power, APs reboot — after which
+// every AP is up. Before RecoverAt the static failed set (and any wrapped
+// base schedule, e.g. churn) applies unchanged. It is the deterministic
+// recovery model behind store-and-heal delivery (core.SendEventually) and
+// its time-to-heal measurements.
+type RecoverySchedule struct {
+	failed    map[int]bool
+	base      sim.FailureSchedule
+	recoverAt float64
+}
+
+// Recovery returns a schedule where the given APs are down until recoverAt
+// and everything is up afterward.
+func Recovery(failed map[int]bool, recoverAt float64) *RecoverySchedule {
+	return &RecoverySchedule{failed: failed, recoverAt: recoverAt}
+}
+
+// Down implements sim.FailureSchedule.
+func (r *RecoverySchedule) Down(ap int, t float64) bool {
+	if t >= r.recoverAt {
+		return false
+	}
+	if r.failed[ap] {
+		return true
+	}
+	return r.base != nil && r.base.Down(ap, t)
+}
+
+// RecoverAt returns the healing instant.
+func (r *RecoverySchedule) RecoverAt() float64 { return r.recoverAt }
+
+// WithRecovery converts an injection into a time-varying one that fully
+// heals at recoverAt: the static failed set moves into a RecoverySchedule
+// (wrapping any existing schedule, so churn injections heal too). The
+// returned injection has no static failures — recovery only works through
+// the schedule, since sim.Config.FailedAPs never comes back up.
+func (inj Injection) WithRecovery(recoverAt float64) Injection {
+	out := inj
+	out.Failed = nil
+	out.Schedule = &RecoverySchedule{
+		failed:    inj.Failed,
+		base:      inj.Schedule,
+		recoverAt: recoverAt,
+	}
+	out.Desc = fmt.Sprintf("%s; recovers at t=%.1fs", inj.Desc, recoverAt)
+	return out
+}
+
 // ChurnSchedule is a per-AP alternating up/down schedule sampled from a
 // two-state Markov process with exponential holding times. It implements
 // sim.FailureSchedule via binary search over precomputed toggle instants,

@@ -262,3 +262,74 @@ func TestInjectUnknownMode(t *testing.T) {
 		t.Error("empty mode should be a no-op injection")
 	}
 }
+
+func TestRecoveryScheduleHealsAtInstant(t *testing.T) {
+	r := Recovery(map[int]bool{3: true, 7: true}, 5.0)
+	if !r.Down(3, 0) || !r.Down(7, 4.999) {
+		t.Error("failed APs must be down before RecoverAt")
+	}
+	if r.Down(3, 5.0) || r.Down(7, 100) {
+		t.Error("every AP must be up at and after RecoverAt")
+	}
+	if r.Down(1, 0) {
+		t.Error("unlisted APs are never down")
+	}
+	if r.RecoverAt() != 5.0 {
+		t.Errorf("RecoverAt = %v", r.RecoverAt())
+	}
+}
+
+func TestWithRecoveryMovesStaticFailuresIntoSchedule(t *testing.T) {
+	n, m := testMesh(t, 23)
+	inj, err := Inject(m, n.City, Config{Mode: ModeUniform, Frac: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.NumFailed() == 0 {
+		t.Fatal("expected static failures")
+	}
+	healed := inj.WithRecovery(10)
+	if healed.NumFailed() != 0 {
+		t.Error("WithRecovery must clear the static failed set (it can never heal)")
+	}
+	if healed.Schedule == nil {
+		t.Fatal("WithRecovery must install a schedule")
+	}
+	var anyAP int
+	for ap := range inj.Failed {
+		anyAP = ap
+		break
+	}
+	if !healed.Schedule.Down(anyAP, 0) {
+		t.Error("failed AP must be down before recovery")
+	}
+	if healed.Schedule.Down(anyAP, 10) {
+		t.Error("failed AP must be up after recovery")
+	}
+	// Churn injections heal too: the base schedule is muted after RecoverAt.
+	cinj, err := Inject(m, n.City, Config{Mode: ModeChurn, Frac: 0.5, Seed: 5, Horizon: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chealed := cinj.WithRecovery(3)
+	for ap := 0; ap < m.NumAPs(); ap++ {
+		if chealed.Schedule.Down(ap, 3.5) {
+			t.Fatalf("AP %d still down after churn recovery instant", ap)
+		}
+	}
+}
+
+func TestOffsetScheduleShiftsClock(t *testing.T) {
+	r := Recovery(map[int]bool{1: true}, 5.0)
+	off := sim.OffsetSchedule{Base: r, Offset: 4.5}
+	if !off.Down(1, 0.2) {
+		t.Error("offset 4.5 + t 0.2 = 4.7 is before recovery; AP must be down")
+	}
+	if off.Down(1, 0.6) {
+		t.Error("offset 4.5 + t 0.6 = 5.1 is after recovery; AP must be up")
+	}
+	empty := sim.OffsetSchedule{}
+	if empty.Down(0, 0) {
+		t.Error("nil base schedule means nothing is down")
+	}
+}

@@ -149,7 +149,11 @@ func TestInterRegionSend(t *testing.T) {
 	// Find a source building in boston reachable from its gateway, and a
 	// destination in providence reachable from its gateway.
 	pick := func(r *Region) int {
-		for _, p := range r.Net.RandomPairs(3, 200) {
+		pairs, err := r.Net.RandomPairs(3, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
 			b := p[0]
 			if b == r.Gateway || !r.Net.Reachable(b, r.Gateway) {
 				continue
@@ -202,7 +206,11 @@ func TestSendSameRegion(t *testing.T) {
 	in, ra, _, _ := buildInternetwork(t)
 	var src, dst int
 	found := false
-	for _, p := range ra.Net.RandomPairs(9, 200) {
+	pairs, err := ra.Net.RandomPairs(9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
 		if ra.Net.Reachable(p[0], p[1]) {
 			if _, err := ra.Net.PlanRoute(p[0], p[1]); err == nil {
 				src, dst = p[0], p[1]

@@ -59,6 +59,22 @@ type FailureSchedule interface {
 	Down(ap int, t float64) bool
 }
 
+// OffsetSchedule shifts a FailureSchedule's time origin: Down(ap, t)
+// consults the base schedule at t + Offset. Each sim.Run starts its own
+// clock at zero, so a sender re-attempting a delivery at a later point of
+// a time-varying outage (core.SendEventually's healing scheduler) wraps
+// the schedule with the elapsed sim time — the run then sees the outage
+// as it stands *now*, including any churn recovery since the first try.
+type OffsetSchedule struct {
+	Base   FailureSchedule
+	Offset float64
+}
+
+// Down implements FailureSchedule.
+func (o OffsetSchedule) Down(ap int, t float64) bool {
+	return o.Base != nil && o.Base.Down(ap, t+o.Offset)
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	// TxDelay is the per-transmission latency in seconds.
