@@ -36,6 +36,7 @@ import (
 	"citymesh/internal/citygen"
 	"citymesh/internal/conduit"
 	"citymesh/internal/core"
+	"citymesh/internal/health"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
 	"citymesh/internal/sim"
@@ -90,3 +91,67 @@ func FromOSM(r io.Reader, name string, cfg Config) (*Network, error) {
 
 // PresetNames lists the built-in synthetic cities.
 func PresetNames() []string { return citygen.PresetNames() }
+
+// Resilient delivery. A plain Send stops at the first failure; disasters
+// are exactly when that is not good enough. SendReliable escalates through
+// a ladder of recovery strategies (retry → widened conduit → multipath →
+// scoped flood), SendEventually adds partition-aware store-and-heal on
+// top, and a HealthMap gives a sender decaying per-building suspicion
+// memory so later sends plan around known damage.
+
+// ReliableConfig re-exports the escalation-ladder configuration.
+type ReliableConfig = core.ReliableConfig
+
+// ReliableResult re-exports the ladder outcome (winning rung, per-attempt
+// record, total broadcast cost).
+type ReliableResult = core.ReliableResult
+
+// Rung re-exports the ladder-step identifier carried by ReliableResult.
+type Rung = core.Rung
+
+// The ladder's rungs, in escalation order.
+const (
+	RungDirect    = core.RungDirect
+	RungRetry     = core.RungRetry
+	RungWiden     = core.RungWiden
+	RungMultipath = core.RungMultipath
+	RungFlood     = core.RungFlood
+)
+
+// NumRungs re-exports the count of real ladder rungs.
+const NumRungs = core.NumRungs
+
+// EventualConfig re-exports the store-and-heal scheduler configuration.
+type EventualConfig = core.EventualConfig
+
+// EventualResult re-exports the store-and-heal outcome (parked, healed,
+// time-to-heal).
+type EventualResult = core.EventualResult
+
+// MultipathResult re-exports the k-route diverse-send outcome.
+type MultipathResult = core.MultipathResult
+
+// HealthConfig re-exports the route-health memory configuration.
+type HealthConfig = health.Config
+
+// HealthMap re-exports the per-sender route-health memory: decaying
+// suspicion scores that SendReliable feeds and damage-aware planning
+// consults. Wire one into ReliableConfig.Health to route around damage
+// learned from earlier sends.
+type HealthMap = health.Map
+
+// DefaultReliableConfig returns the evaluation ladder settings (2 retries,
+// 2× conduit widening, 3-route multipath, TTL-scoped flood).
+func DefaultReliableConfig() ReliableConfig { return core.DefaultReliableConfig() }
+
+// DefaultEventualConfig returns the evaluation healing scheduler (up to 8
+// ladder runs, 0.5 s → 30 s capped exponential backoff, park after 2
+// exhaustions).
+func DefaultEventualConfig() EventualConfig { return core.DefaultEventualConfig() }
+
+// DefaultHealthConfig returns the evaluation route-health memory settings.
+func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
+
+// NewHealthMap creates a route-health memory; zero config fields use the
+// defaults.
+func NewHealthMap(cfg HealthConfig) *HealthMap { return health.New(cfg) }

@@ -32,6 +32,65 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	t.Fatal("no message delivered through the public API")
 }
 
+// TestPublicAPIResilientDelivery exercises the resilient-delivery facade:
+// the escalation ladder, the route-health memory, and store-and-heal, all
+// through the root package without importing internal/.
+func TestPublicAPIResilientDelivery(t *testing.T) {
+	spec := citygen.SmallTestSpec(7)
+	net, err := citymesh.FromSpec(spec, citymesh.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := net.RandomPairs(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc := citymesh.DefaultReliableConfig()
+	rc.Seed = 1
+	rc.Health = citymesh.NewHealthMap(citymesh.DefaultHealthConfig())
+	if err := rc.Validate(); err != nil {
+		t.Fatalf("DefaultReliableConfig().Validate() = %v", err)
+	}
+
+	delivered := false
+	for _, p := range pairs {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := net.SendReliable(p[0], p[1], []byte("are you safe?"), citymesh.DefaultSimConfig(), rc)
+		if err != nil {
+			continue
+		}
+		if res.Delivered {
+			delivered = true
+			if res.Rung < citymesh.RungDirect || res.Rung >= citymesh.Rung(citymesh.NumRungs) {
+				t.Errorf("winning rung %v out of range", res.Rung)
+			}
+			break
+		}
+	}
+	if !delivered {
+		t.Fatal("no message delivered through the SendReliable facade")
+	}
+
+	// The eventual path must at least run and report a coherent outcome.
+	ec := citymesh.DefaultEventualConfig()
+	for _, p := range pairs {
+		if !net.Reachable(p[0], p[1]) {
+			continue
+		}
+		res, err := net.SendEventually(p[0], p[1], []byte("ping"), citymesh.DefaultSimConfig(), rc, ec)
+		if err != nil {
+			continue
+		}
+		if !res.Delivered && !res.Parked {
+			t.Errorf("SendEventually neither delivered nor parked: %+v", res)
+		}
+		break
+	}
+}
+
 func TestPresetNames(t *testing.T) {
 	names := citymesh.PresetNames()
 	if len(names) < 6 {

@@ -23,10 +23,11 @@ func main() {
 		seed = flag.Int64("seed", 1, "survey seed")
 		csv  = flag.Bool("csv", false, "emit quantile CSV instead of tables")
 		svg  = flag.String("svg", "", "also write Figure 1a/1b/2 SVG charts to this directory")
+		par  = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
-	res, err := experiments.MeasurementStudy(*seed)
+	res, err := experiments.MeasurementStudy(*seed, *par)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "citymesh-measure:", err)
 		os.Exit(1)

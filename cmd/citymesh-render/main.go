@@ -25,6 +25,7 @@ func main() {
 		out   = flag.String("out", ".", "output directory")
 		scale = flag.Float64("scale", 1.0, "shrink city extents by this factor (0,1]")
 		seed  = flag.Int64("seed", 3, "simulation seed (figure 7)")
+		par   = flag.Int("par", 0, "worker parallelism (0 = GOMAXPROCS, 1 = serial); output is identical either way")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		res, err := experiments.Figure7(*city, *scale, *seed, f)
+		res, err := experiments.Figure7(*city, *scale, *seed, *par, f)
 		if err != nil {
 			fail(err)
 		}

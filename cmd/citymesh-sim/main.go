@@ -10,10 +10,12 @@
 // Usage:
 //
 //	citymesh-sim [-cities boston,dc] [-reach-pairs 1000] [-deliver-pairs 50]
-//	             [-seed 1] [-scale 1.0] [-csv]
+//	             [-seed 1] [-scale 1.0] [-csv] [-par 8]
 //	citymesh-sim -fail-mode=uniform -fail-frac=0.1,0.3,0.5 -reliable
 //	citymesh-sim -cities=boston -fail-mode=flood -fail-frac=0.3 -reliable
 //	citymesh-sim -heal -fail-mode=disk -fail-frac=0.3 -heal-decay=30 -recover-at=60
+//	citymesh-sim -list
+//	citymesh-sim -experiment geocast -cities gridtown -scale 0.5 -csv
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"citymesh/internal/experiments"
 	"citymesh/internal/faults"
 	"citymesh/internal/health"
+	"citymesh/internal/sim"
 	"citymesh/internal/svgrender"
 )
 
@@ -63,18 +66,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"suspicion decay e-folding time in sim seconds (0 = default)")
 		recoverAt = fs.Float64("recover-at", 60,
 			"sim instant at which injected failures heal during the -heal store-and-heal phase (0 disables)")
+
+		par = fs.Int("par", 0,
+			"sweep worker parallelism (0 = GOMAXPROCS, 1 = serial); output is byte-identical either way")
+		list       = fs.Bool("list", false, "list the registered experiments and exit")
+		experiment = fs.String("experiment", "",
+			"run one registered experiment by name (see -list) instead of the default Figure 6 table")
+
+		txDelay = fs.Float64("tx-delay", 0, "override the simulator per-transmission latency in seconds")
+		jitter  = fs.Float64("jitter-max", 0, "override the simulator max forwarding jitter in seconds")
+		loss    = fs.Float64("loss", 0, "override the simulator per-reception loss probability [0,1]")
+		maxEv   = fs.Int("max-events", 0, "override the simulator event cap (runaway guard)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+
+	simCfg, ok := simOverride(fs, *txDelay, *jitter, *loss, *maxEv, stderr)
+	if !ok {
+		return 2
+	}
+
+	if *experiment != "" {
+		return runRegistry(fs, *experiment, *cities, *scale, *seed, *pairs, *par,
+			*csv, stdout, stderr)
+	}
 	if *heal {
 		return runSelfHealing(fs, *cities, *failMode, *failFrac, *pairs, *seed,
-			*scale, *healDecay, *recoverAt, *csv, stdout, stderr)
+			*scale, *healDecay, *recoverAt, *par, *csv, stdout, stderr)
 	}
 	if *failMode != "" && faults.Mode(*failMode) != faults.ModeNone {
 		return runResilience(*cities, *failMode, *failFrac, *pairs, *seed, *scale,
-			*csv, *reliable, stdout, stderr)
+			*par, simCfg, *csv, *reliable, stdout, stderr)
 	}
 
 	cfg := experiments.Figure6Config{
@@ -82,6 +112,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DeliverPairs: *deliverPairs,
 		Seed:         *seed,
 		Scale:        *scale,
+		Parallelism:  *par,
+		Sim:          simCfg,
 	}
 	if *cities != "" {
 		cfg.Cities = strings.Split(*cities, ",")
@@ -121,6 +153,68 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// simOverride builds a simulator-config override from the -tx-delay,
+// -jitter-max, -loss and -max-events flags. It returns nil (use each
+// experiment's default) unless at least one of them was set explicitly, so
+// a zero flag value never clobbers a non-zero default. The override is
+// validated here so a bad flag fails fast with the sentinel error instead
+// of surfacing as an invalid simulation deep inside a sweep.
+func simOverride(fs *flag.FlagSet, txDelay, jitter, loss float64, maxEv int, stderr io.Writer) (*sim.Config, bool) {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["tx-delay"] && !set["jitter-max"] && !set["loss"] && !set["max-events"] {
+		return nil, true
+	}
+	cfg := sim.DefaultConfig()
+	if set["tx-delay"] {
+		cfg.TxDelay = txDelay
+	}
+	if set["jitter-max"] {
+		cfg.JitterMax = jitter
+	}
+	if set["loss"] {
+		cfg.LossProb = loss
+	}
+	if set["max-events"] {
+		cfg.MaxEvents = maxEv
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "citymesh-sim:", err)
+		return nil, false
+	}
+	return &cfg, true
+}
+
+// runRegistry executes one experiment from the unified registry. Only
+// flags the user set explicitly override the experiment's own defaults.
+func runRegistry(fs *flag.FlagSet, name, cities string, scale float64, seed int64, pairs, par int, csv bool, stdout, stderr io.Writer) int {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	cfg := experiments.RunConfig{
+		Seed:        seed,
+		Scale:       scale,
+		Parallelism: par,
+	}
+	if cities != "" {
+		cfg.Cities = strings.Split(cities, ",")
+		cfg.City = cfg.Cities[0]
+	}
+	if set["pairs"] {
+		cfg.Pairs = pairs
+	}
+	res, err := experiments.RunByName(name, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "citymesh-sim:", err)
+		return 1
+	}
+	if csv {
+		fmt.Fprint(stdout, res.CSV())
+	} else {
+		fmt.Fprint(stdout, res.Text())
+	}
+	return 0
+}
+
 // parseFracs parses a comma-separated failure-fraction list.
 func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 	var fracs []float64
@@ -142,18 +236,20 @@ func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 // runResilience executes the fault-injection sweep. The -reliable flag is
 // accepted for CLI symmetry with the README examples; the sweep reports
 // plain and ladder delivery side by side either way.
-func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, csv, reliable bool, stdout, stderr io.Writer) int {
+func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, par int, simCfg *sim.Config, csv, reliable bool, stdout, stderr io.Writer) int {
 	_ = reliable
 	fracs, ok := parseFracs(fracsCSV, stderr)
 	if !ok {
 		return 2
 	}
 	cfg := experiments.ResilienceConfig{
-		Mode:  faults.Mode(mode),
-		Fracs: fracs,
-		Pairs: pairs,
-		Seed:  seed,
-		Scale: scale,
+		Mode:        faults.Mode(mode),
+		Fracs:       fracs,
+		Pairs:       pairs,
+		Seed:        seed,
+		Scale:       scale,
+		Parallelism: par,
+		Sim:         simCfg,
 	}
 	if cities != "" {
 		cfg.Cities = strings.Split(cities, ",")
@@ -173,7 +269,7 @@ func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale f
 
 // runSelfHealing executes the PR 3 evaluation: ladder-with-memory vs plain
 // ladder, then partition-aware store-and-heal across a recovery.
-func runSelfHealing(fs *flag.FlagSet, cities, mode, fracsCSV string, pairs int, seed int64, scale, healDecay, recoverAt float64, csv bool, stdout, stderr io.Writer) int {
+func runSelfHealing(fs *flag.FlagSet, cities, mode, fracsCSV string, pairs int, seed int64, scale, healDecay, recoverAt float64, par int, csv bool, stdout, stderr io.Writer) int {
 	cfg := experiments.DefaultSelfHealingConfig()
 	if cities != "" {
 		cfg.City = strings.Split(cities, ",")[0]
@@ -202,6 +298,7 @@ func runSelfHealing(fs *flag.FlagSet, cities, mode, fracsCSV string, pairs int, 
 	cfg.Seed = seed
 	cfg.Scale = scale
 	cfg.RecoverAt = recoverAt
+	cfg.Parallelism = par
 	if healDecay > 0 {
 		hc := health.DefaultConfig()
 		hc.DecayTau = healDecay

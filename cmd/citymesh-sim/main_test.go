@@ -106,6 +106,86 @@ func TestRunHealSmoke(t *testing.T) {
 	}
 }
 
+func TestRunList(t *testing.T) {
+	code, stdout, stderr := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"figure6", "resilience", "geocast", "headers"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCmd(t, "-experiment=bogus")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bogus") {
+		t.Errorf("stderr should name the unknown experiment:\n%s", stderr)
+	}
+}
+
+func TestRunRejectsInvalidSimOverride(t *testing.T) {
+	code, _, stderr := runCmd(t, "-loss=1.5")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "LossProb") {
+		t.Errorf("stderr should name the invalid knob:\n%s", stderr)
+	}
+	if code, _, _ := runCmd(t, "-tx-delay=-1"); code != 2 {
+		t.Fatalf("negative tx-delay: exit = %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-max-events=-5"); code != 2 {
+		t.Fatalf("negative max-events: exit = %d, want 2", code)
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-experiment=headers", "-cities=gridtown", "-scale=0.4", "-pairs=10", "-par=4", "-csv")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "city,") {
+		t.Errorf("experiment CSV malformed:\n%s", stdout)
+	}
+}
+
+func TestRunSimOverrideAppliesToFigure6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	base := []string{"-cities=gridtown", "-scale=0.3", "-reach-pairs=50", "-deliver-pairs=5", "-csv"}
+	code, clean, stderr := runCmd(t, base...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	// An explicit zero override must really reach the simulator: dropping
+	// jitter to 0 changes broadcast interleaving and thus the overhead
+	// column, while an untouched -loss default must leave output alone.
+	code, overridden, stderr := runCmd(t, append([]string{"-jitter-max=0"}, base...)...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if clean == "" || overridden == "" {
+		t.Fatal("empty CSV output")
+	}
+	code, same, stderr := runCmd(t, base...)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if same != clean {
+		t.Errorf("identical invocations diverged:\n%s\nvs\n%s", clean, same)
+	}
+}
+
 func TestRunHealCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation smoke test is slow")

@@ -18,6 +18,7 @@ import (
 	"citymesh/internal/agent"
 	"citymesh/internal/packet"
 	"citymesh/internal/postbox"
+	"citymesh/internal/runner"
 )
 
 func main() {
@@ -38,17 +39,31 @@ func main() {
 	}
 
 	// Pick Bob's postbox building and a reachable building for Alice.
+	// Route planning per candidate is independent work, so plan a bounded
+	// batch concurrently and keep the lowest-indexed success — the same
+	// pair a one-by-one scan would have chosen.
 	var aliceB, bobB int
 	pairs, err := net.RandomPairs(7, 500)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var candidates [][2]int
 	for _, p := range pairs {
 		if net.Reachable(p[0], p[1]) {
-			if _, err := net.PlanRoute(p[0], p[1]); err == nil {
-				aliceB, bobB = p[0], p[1]
-				break
-			}
+			candidates = append(candidates, p)
+		}
+		if len(candidates) == 16 {
+			break
+		}
+	}
+	planned := runner.Map(0, len(candidates), func(i int) bool {
+		_, err := net.PlanRoute(candidates[i][0], candidates[i][1])
+		return err == nil
+	})
+	for i, ok := range planned {
+		if ok {
+			aliceB, bobB = candidates[i][0], candidates[i][1]
+			break
 		}
 	}
 	info := postbox.PostboxInfo{Identity: bob.Public(), Building: bobB}
@@ -74,6 +89,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// In a real outage Alice would not trust a single attempt: probe the
+	// path with the resilient escalation ladder (retry → widened conduit →
+	// multipath → scoped flood) through the public facade first.
+	rc := citymesh.DefaultReliableConfig()
+	rc.Seed = 7
+	probe, err := net.SendReliable(aliceB, decoded.Building, nil,
+		citymesh.DefaultSimConfig(), rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ladder probe: delivered=%v on rung %v (%d broadcasts)\n",
+		probe.Delivered, probe.Rung, probe.TotalBroadcasts)
 
 	route, err := net.PlanRoute(aliceB, decoded.Building)
 	if err != nil {

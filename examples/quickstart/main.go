@@ -1,5 +1,7 @@
 // Quickstart: build a synthetic city, plan a building route, and deliver a
-// message through the simulated AP mesh with the CityMesh conduit policy.
+// message through the simulated AP mesh with the CityMesh conduit policy —
+// then deliver it again with the resilient escalation ladder, all through
+// the root package facade.
 //
 //	go run ./examples/quickstart
 package main
@@ -9,6 +11,7 @@ import (
 	"log"
 
 	"citymesh"
+	"citymesh/internal/runner"
 )
 
 func main() {
@@ -22,26 +25,48 @@ func main() {
 	fmt.Printf("city: %d buildings, %d APs, %d building-graph edges\n",
 		net.City.NumBuildings(), net.Mesh.NumAPs(), net.Graph.NumEdges())
 
-	// Try reachable pairs until one delivers. Deliverability is high but
-	// not total (see EXPERIMENTS.md): some conduits have a choke point
-	// where the realized AP placement leaves a >range gap inside the band.
-	var res citymesh.SendResult
-	var src, dst, attempts int
+	// Collect reachable candidate pairs. Deliverability is high but not
+	// total (see EXPERIMENTS.md): some conduits have a choke point where
+	// the realized AP placement leaves a >range gap inside the band.
 	pairs, err := net.RandomPairs(42, 500)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var reachable [][2]int
 	for _, p := range pairs {
-		if !net.Reachable(p[0], p[1]) {
-			continue
+		if net.Reachable(p[0], p[1]) {
+			reachable = append(reachable, p)
 		}
-		r, err := net.Send(p[0], p[1], []byte("are you safe? reply via my postbox"), citymesh.DefaultSimConfig())
-		if err != nil {
+		if len(reachable) == 32 {
+			break
+		}
+	}
+	if len(reachable) == 0 {
+		log.Fatal("no reachable pair; try a different seed")
+	}
+
+	// Probe the candidates concurrently — sim.Run is safe to call from
+	// many goroutines against one Network — and keep the lowest-indexed
+	// delivery, so the answer is identical to probing them one by one.
+	type probe struct {
+		res citymesh.SendResult
+		err error
+	}
+	probes := runner.Map(0, len(reachable), func(i int) probe {
+		var pr probe
+		pr.res, pr.err = net.Send(reachable[i][0], reachable[i][1],
+			[]byte("are you safe? reply via my postbox"), citymesh.DefaultSimConfig())
+		return pr
+	})
+	var res citymesh.SendResult
+	var src, dst, attempts int
+	for i, pr := range probes {
+		if pr.err != nil {
 			continue
 		}
 		attempts++
-		if r.Sim.Delivered {
-			res, src, dst = r, p[0], p[1]
+		if pr.res.Sim.Delivered {
+			res, src, dst = pr.res, reachable[i][0], reachable[i][1]
 			break
 		}
 	}
@@ -60,4 +85,18 @@ func main() {
 		fmt.Printf(" (overhead %.1fx vs ideal %d unicasts)", res.Overhead(), res.IdealTransmissions)
 	}
 	fmt.Println()
+
+	// Disasters are exactly when a single attempt is not good enough:
+	// SendReliable escalates retry → widened conduit → multipath → scoped
+	// flood, and a HealthMap lets later sends plan around learned damage.
+	rc := citymesh.DefaultReliableConfig()
+	rc.Seed = 42
+	rc.Health = citymesh.NewHealthMap(citymesh.DefaultHealthConfig())
+	rel, err := net.SendReliable(src, dst, []byte("second copy, via the ladder"),
+		citymesh.DefaultSimConfig(), rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resilient: delivered=%v on rung %v after %d attempt(s), %d total broadcasts\n",
+		rel.Delivered, rel.Rung, len(rel.Attempts), rel.TotalBroadcasts)
 }

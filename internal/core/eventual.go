@@ -68,11 +68,12 @@ func BuildingAddress(b int) postbox.Address {
 }
 
 // ParkedStore returns the sender's store of messages parked for
-// partitioned destinations, creating it on first use.
+// partitioned destinations, creating it on first use (safe under
+// concurrent sends).
 func (n *Network) ParkedStore() *postbox.Store {
-	if n.parked == nil {
+	n.parkedOnce.Do(func() {
 		n.parked = postbox.NewStore()
-	}
+	})
 	return n.parked
 }
 

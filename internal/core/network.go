@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"citymesh/internal/buildinggraph"
 	"citymesh/internal/citygen"
@@ -74,10 +76,15 @@ type Network struct {
 	Mesh  *mesh.Mesh
 	Cfg   Config
 
-	msgSeq uint64
+	// msgSeq is atomic so concurrent sends over one Network mint unique
+	// message ids without a race. MsgID values never influence simulation
+	// outcomes (the RNG comes from sim.Config.Seed; policies only need ids
+	// to be distinct), so allocation order doesn't affect determinism.
+	msgSeq atomic.Uint64
 	// parked holds messages awaiting mesh healing for partitioned
 	// destinations (see SendEventually); lazily created by ParkedStore.
-	parked *postbox.Store
+	parkedOnce sync.Once
+	parked     *postbox.Store
 }
 
 // NewNetwork builds the building graph and AP mesh for an already-extracted
@@ -223,7 +230,7 @@ func (n *Network) NewPacket(r conduit.Route, payload []byte) (*packet.Packet, er
 		}
 		wps[i] = uint32(w)
 	}
-	n.msgSeq++
+	seq := n.msgSeq.Add(1)
 	width := uint8(0)
 	if r.Width > 0 && r.Width < 256 {
 		width = uint8(r.Width)
@@ -231,7 +238,7 @@ func (n *Network) NewPacket(r conduit.Route, payload []byte) (*packet.Packet, er
 	return &packet.Packet{
 		Header: packet.Header{
 			TTL:       n.Cfg.TTL,
-			MsgID:     msgID(n.Cfg.APSeed, n.msgSeq),
+			MsgID:     msgID(n.Cfg.APSeed, seq),
 			Width:     width,
 			Waypoints: wps,
 		},

@@ -379,11 +379,11 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 				ttl = n.Cfg.TTL
 			}
 		}
-		n.msgSeq++
+		seq := n.msgSeq.Add(1)
 		pkt := &packet.Packet{
 			Header: packet.Header{
 				TTL:       ttl,
-				MsgID:     msgID(n.Cfg.APSeed, n.msgSeq),
+				MsgID:     msgID(n.Cfg.APSeed, seq),
 				Waypoints: []uint32{uint32(src), uint32(dst)},
 			},
 			Payload: payload,

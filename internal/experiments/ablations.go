@@ -7,6 +7,7 @@ import (
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
 	"citymesh/internal/routing"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -29,6 +30,16 @@ func AblationText(title string, rows []AblationRow) string {
 			r.Label, r.Pairs, 100*r.Deliverability, r.OverheadMedian, r.BroadcastsP50)
 	}
 	return sb.String()
+}
+
+// AblationCSV renders ablation rows as CSV.
+func AblationCSV(rows []AblationRow) string {
+	out := "setting,pairs,deliverability,overhead_p50,bcast_p50\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s,%d,%.4f,%.2f,%.1f\n",
+			r.Label, r.Pairs, r.Deliverability, r.OverheadMedian, r.BroadcastsP50)
+	}
+	return out
 }
 
 // sampleReachablePairs builds the shared pair sample for ablations.
@@ -56,7 +67,7 @@ func sampleReachablePairs(n *core.Network, seed int64, count int) ([][2]int, err
 // ConduitWidthSweep measures deliverability and overhead as the conduit
 // width W varies (A1): narrow conduits tolerate less misprediction, wide
 // conduits rebroadcast more.
-func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []float64, pairCount int) ([]AblationRow, error) {
+func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []float64, pairCount, par int) ([]AblationRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -83,7 +94,7 @@ func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []floa
 		if err != nil {
 			return nil, err
 		}
-		row := runPairs(n, pairs, fmt.Sprintf("W=%.0fm", w), seed)
+		row := runPairs(n, pairs, fmt.Sprintf("W=%.0fm", w), seed, par)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -91,7 +102,7 @@ func ConduitWidthSweep(cityName string, scale float64, seed int64, widths []floa
 
 // WeightExponentSweep compares edge-weight exponents for the building graph
 // (A2): the paper's cubed weights versus linear and squared.
-func WeightExponentSweep(cityName string, scale float64, seed int64, exponents []float64, pairCount int) ([]AblationRow, error) {
+func WeightExponentSweep(cityName string, scale float64, seed int64, exponents []float64, pairCount, par int) ([]AblationRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -117,29 +128,46 @@ func WeightExponentSweep(cityName string, scale float64, seed int64, exponents [
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, runPairs(n, pairs, fmt.Sprintf("gap^%.0f", e), seed))
+		rows = append(rows, runPairs(n, pairs, fmt.Sprintf("gap^%.0f", e), seed, par))
 	}
 	return rows, nil
 }
 
-// runPairs sends across each pair under the CityMesh policy and summarizes.
-func runPairs(n *core.Network, pairs [][2]int, label string, seed int64) AblationRow {
-	simCfg := sim.DefaultConfig()
-	simCfg.Seed = seed
+// runPairs sends across each pair under the CityMesh policy and
+// summarizes. Pairs run as parallel tasks seeded by task index; the fold
+// below walks results in task-index order, so output is identical at any
+// parallelism.
+func runPairs(n *core.Network, pairs [][2]int, label string, seed int64, par int) AblationRow {
+	type outcome struct {
+		ran, delivered bool
+		bcasts         float64
+		overhead       float64
+	}
+	outs := runner.Map(par, len(pairs), func(i int) outcome {
+		simCfg := sim.DefaultConfig()
+		simCfg.Seed = runner.TaskSeed(seed, i)
+		res, err := n.Send(pairs[i][0], pairs[i][1], nil, simCfg)
+		if err != nil {
+			return outcome{}
+		}
+		return outcome{
+			ran: true, delivered: res.Sim.Delivered,
+			bcasts: float64(res.Sim.Broadcasts), overhead: res.Overhead(),
+		}
+	})
 	row := AblationRow{Label: label}
 	delivered := 0
 	var overheads, bcasts []float64
-	for _, p := range pairs {
-		res, err := n.Send(p[0], p[1], nil, simCfg)
-		if err != nil {
+	for _, o := range outs {
+		if !o.ran {
 			continue
 		}
 		row.Pairs++
-		bcasts = append(bcasts, float64(res.Sim.Broadcasts))
-		if res.Sim.Delivered {
+		bcasts = append(bcasts, o.bcasts)
+		if o.delivered {
 			delivered++
-			if o := res.Overhead(); o > 0 {
-				overheads = append(overheads, o)
+			if o.overhead > 0 {
+				overheads = append(overheads, o.overhead)
 			}
 		}
 	}
@@ -158,7 +186,7 @@ func runPairs(n *core.Network, pairs [][2]int, label string, seed int64) Ablatio
 // BaselineComparison runs CityMesh against flooding, gossip, greedy
 // geographic forwarding and the AODV cost model on the same pair sample
 // (A3).
-func BaselineComparison(cityName string, scale float64, seed int64, pairCount int) ([]AblationRow, error) {
+func BaselineComparison(cityName string, scale float64, seed int64, pairCount, par int) ([]AblationRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -185,29 +213,26 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount in
 		routing.GreedyGeo{},
 		routing.GreedyGeo{Fallback: true},
 	}
-	var rows []AblationRow
-	for _, pol := range policies {
-		row := AblationRow{Label: pol.Name()}
+	type outcome struct {
+		ran, delivered bool
+		bcasts         float64
+		overhead       float64
+		hasOverhead    bool
+	}
+	fold := func(label string, outs []outcome) AblationRow {
+		row := AblationRow{Label: label}
 		delivered := 0
 		var overheads, bcasts []float64
-		for _, p := range pairs {
-			r, err := n.PlanRoute(p[0], p[1])
-			if err != nil {
+		for _, o := range outs {
+			if !o.ran {
 				continue
 			}
-			pkt, err := n.NewPacket(r, nil)
-			if err != nil {
-				continue
-			}
-			simCfg := sim.DefaultConfig()
-			simCfg.Seed = seed
-			res := sim.Run(n.Mesh, n.City, pol, pkt, simCfg)
 			row.Pairs++
-			bcasts = append(bcasts, float64(res.Broadcasts))
-			if res.Delivered {
+			bcasts = append(bcasts, o.bcasts)
+			if o.delivered {
 				delivered++
-				if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
-					overheads = append(overheads, res.Overhead(ideal))
+				if o.hasOverhead {
+					overheads = append(overheads, o.overhead)
 				}
 			}
 		}
@@ -220,42 +245,57 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount in
 		if len(bcasts) > 0 {
 			row.BroadcastsP50 = stats.Percentile(bcasts, 50)
 		}
-		rows = append(rows, row)
+		return row
+	}
+
+	var rows []AblationRow
+	for _, pol := range policies {
+		pol := pol
+		outs := runner.Map(par, len(pairs), func(i int) outcome {
+			p := pairs[i]
+			r, err := n.PlanRoute(p[0], p[1])
+			if err != nil {
+				return outcome{}
+			}
+			pkt, err := n.NewPacket(r, nil)
+			if err != nil {
+				return outcome{}
+			}
+			simCfg := sim.DefaultConfig()
+			simCfg.Seed = runner.TaskSeed(seed, i)
+			res := sim.Run(n.Mesh, n.City, pol, pkt, simCfg)
+			o := outcome{ran: true, delivered: res.Delivered, bcasts: float64(res.Broadcasts)}
+			if res.Delivered {
+				if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
+					o.overhead, o.hasOverhead = res.Overhead(ideal), true
+				}
+			}
+			return o
+		})
+		rows = append(rows, fold(pol.Name(), outs))
 	}
 
 	// AODV cost model: per-message route discovery + unicast data.
-	aodv := AblationRow{Label: "aodv-model"}
-	var overheads, bcasts []float64
-	delivered := 0
-	simCfg := sim.DefaultConfig()
-	simCfg.Seed = seed
-	for _, p := range pairs {
+	outs := runner.Map(par, len(pairs), func(i int) outcome {
+		p := pairs[i]
+		simCfg := sim.DefaultConfig()
+		simCfg.Seed = runner.TaskSeed(seed, i)
 		cost := routing.AODVDiscover(n.Mesh, n.City, p[0], p[1], simCfg)
-		aodv.Pairs++
-		bcasts = append(bcasts, float64(cost.Total()))
+		o := outcome{ran: true, delivered: cost.Delivered, bcasts: float64(cost.Total())}
 		if cost.Delivered {
-			delivered++
 			if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
-				overheads = append(overheads, float64(cost.Total())/float64(ideal))
+				o.overhead, o.hasOverhead = float64(cost.Total())/float64(ideal), true
 			}
 		}
-	}
-	if aodv.Pairs > 0 {
-		aodv.Deliverability = float64(delivered) / float64(aodv.Pairs)
-	}
-	if len(overheads) > 0 {
-		aodv.OverheadMedian = stats.Percentile(overheads, 50)
-	}
-	if len(bcasts) > 0 {
-		aodv.BroadcastsP50 = stats.Percentile(bcasts, 50)
-	}
-	rows = append(rows, aodv)
+		return o
+	})
+	rows = append(rows, fold("aodv-model", outs))
 	return rows, nil
 }
 
 // FailureInjection measures deliverability as a growing random fraction of
 // APs fail or are compromised (A4) — the DFN resilience question from §1.
-func FailureInjection(cityName string, scale float64, seed int64, fracs []float64, pairCount int) ([]AblationRow, error) {
+func FailureInjection(cityName string, scale float64, seed int64, fracs []float64, pairCount, par int) ([]AblationRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -281,25 +321,36 @@ func FailureInjection(cityName string, scale float64, seed int64, fracs []float6
 	rows := make([]AblationRow, 0, len(fracs))
 	for _, f := range fracs {
 		failed := failSet(n.Mesh.NumAPs(), f, seed)
-		row := AblationRow{Label: fmt.Sprintf("fail=%.0f%%", 100*f)}
-		delivered := 0
-		var bcasts []float64
-		for _, p := range pairs {
+		type outcome struct {
+			ran, delivered bool
+			bcasts         float64
+		}
+		outs := runner.Map(par, len(pairs), func(i int) outcome {
+			p := pairs[i]
 			r, err := n.PlanRoute(p[0], p[1])
 			if err != nil {
-				continue
+				return outcome{}
 			}
 			pkt, err := n.NewPacket(r, nil)
 			if err != nil {
-				continue
+				return outcome{}
 			}
 			simCfg := sim.DefaultConfig()
-			simCfg.Seed = seed
+			simCfg.Seed = runner.TaskSeed(seed, i)
 			simCfg.FailedAPs = failed
 			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+			return outcome{ran: true, delivered: res.Delivered, bcasts: float64(res.Broadcasts)}
+		})
+		row := AblationRow{Label: fmt.Sprintf("fail=%.0f%%", 100*f)}
+		delivered := 0
+		var bcasts []float64
+		for _, o := range outs {
+			if !o.ran {
+				continue
+			}
 			row.Pairs++
-			bcasts = append(bcasts, float64(res.Broadcasts))
-			if res.Delivered {
+			bcasts = append(bcasts, o.bcasts)
+			if o.delivered {
 				delivered++
 			}
 		}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestMeasurementStudy(t *testing.T) {
-	res, err := MeasurementStudy(1)
+	res, err := MeasurementStudy(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestFigure5Renders(t *testing.T) {
 
 func TestFigure7Renders(t *testing.T) {
 	var buf bytes.Buffer
-	res, err := Figure7("gridtown", 0.3, 3, &buf)
+	res, err := Figure7("gridtown", 0.3, 3, 1, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +141,13 @@ func TestFigure7Renders(t *testing.T) {
 	if res.Broadcasts == 0 {
 		t.Error("no broadcasts")
 	}
-	if _, err := Figure7("nope", 1, 1, &buf); err == nil {
+	if _, err := Figure7("nope", 1, 1, 1, &buf); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestHeaderSizes(t *testing.T) {
-	res, err := HeaderSizes("gridtown", 0.4, 1, 40)
+	res, err := HeaderSizes("gridtown", 0.4, 1, 40, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,13 +169,13 @@ func TestHeaderSizes(t *testing.T) {
 	if res.Text() == "" {
 		t.Error("empty text")
 	}
-	if _, err := HeaderSizes("nope", 1, 1, 10); err == nil {
+	if _, err := HeaderSizes("nope", 1, 1, 10, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestConduitWidthSweep(t *testing.T) {
-	rows, err := ConduitWidthSweep("gridtown", 0.3, 1, []float64{30, 80}, 8)
+	rows, err := ConduitWidthSweep("gridtown", 0.3, 1, []float64{30, 80}, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,13 +189,13 @@ func TestConduitWidthSweep(t *testing.T) {
 	if AblationText("t", rows) == "" {
 		t.Error("empty text")
 	}
-	if _, err := ConduitWidthSweep("nope", 1, 1, nil, 1); err == nil {
+	if _, err := ConduitWidthSweep("nope", 1, 1, nil, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestWeightExponentSweep(t *testing.T) {
-	rows, err := WeightExponentSweep("gridtown", 0.3, 1, []float64{1, 3}, 8)
+	rows, err := WeightExponentSweep("gridtown", 0.3, 1, []float64{1, 3}, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,13 +207,13 @@ func TestWeightExponentSweep(t *testing.T) {
 			t.Errorf("%s: no pairs", r.Label)
 		}
 	}
-	if _, err := WeightExponentSweep("nope", 1, 1, nil, 1); err == nil {
+	if _, err := WeightExponentSweep("nope", 1, 1, nil, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestBaselineComparison(t *testing.T) {
-	rows, err := BaselineComparison("gridtown", 0.3, 1, 8)
+	rows, err := BaselineComparison("gridtown", 0.3, 1, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,13 +235,13 @@ func TestBaselineComparison(t *testing.T) {
 	if _, ok := byLabel["aodv-model"]; !ok {
 		t.Error("missing AODV row")
 	}
-	if _, err := BaselineComparison("nope", 1, 1, 1); err == nil {
+	if _, err := BaselineComparison("nope", 1, 1, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestFailureInjection(t *testing.T) {
-	rows, err := FailureInjection("gridtown", 0.3, 1, []float64{0, 0.6}, 8)
+	rows, err := FailureInjection("gridtown", 0.3, 1, []float64{0, 0.6}, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestFailureInjection(t *testing.T) {
 		t.Errorf("no-failure deliverability %.2f < 60%%-failure %.2f",
 			rows[0].Deliverability, rows[1].Deliverability)
 	}
-	if _, err := FailureInjection("nope", 1, 1, nil, 1); err == nil {
+	if _, err := FailureInjection("nope", 1, 1, nil, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }

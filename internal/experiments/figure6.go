@@ -6,6 +6,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -48,6 +49,13 @@ type Figure6Config struct {
 	// Scale shrinks the preset city extents (0 < Scale <= 1) so tests and
 	// benches can run the same code quickly. 0 means full size.
 	Scale float64
+	// Sim overrides the per-send simulator settings; nil uses
+	// sim.DefaultConfig(). The seed is set per task regardless.
+	Sim *sim.Config
+	// Parallelism is the worker count for the pair sweeps: 0 or negative
+	// uses GOMAXPROCS, 1 forces serial. Output is byte-identical across
+	// parallelism levels for the same seed.
+	Parallelism int
 }
 
 // DefaultFigure6Config mirrors the paper's sampling.
@@ -67,6 +75,11 @@ func Figure6(cfg Figure6Config) ([]Figure6Row, error) {
 	}
 	if cfg.DeliverPairs <= 0 {
 		cfg.DeliverPairs = 50
+	}
+	if cfg.Sim != nil {
+		if err := cfg.Sim.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 	}
 	rows := make([]Figure6Row, 0, len(cities))
 	for _, name := range cities {
@@ -139,10 +152,13 @@ func figure6City(spec citygen.Spec, cfg Figure6Config) (Figure6Row, error) {
 		return Figure6Row{}, err
 	}
 	row.ReachabilityPairs = len(pairs)
+	reach := runner.Map(cfg.Parallelism, len(pairs), func(i int) bool {
+		return n.Reachable(pairs[i][0], pairs[i][1])
+	})
 	var reachable [][2]int
-	for _, p := range pairs {
-		if n.Reachable(p[0], p[1]) {
-			reachable = append(reachable, p)
+	for i, ok := range reach {
+		if ok {
+			reachable = append(reachable, pairs[i])
 		}
 	}
 	if row.ReachabilityPairs > 0 {
@@ -150,25 +166,38 @@ func figure6City(spec citygen.Spec, cfg Figure6Config) (Figure6Row, error) {
 	}
 
 	// Deliverability over the first DeliverPairs reachable pairs via the
-	// full event simulation.
-	simCfg := sim.DefaultConfig()
-	simCfg.Seed = cfg.Seed
-	delivered := 0
-	var overheads []float64
+	// full event simulation — one runner task per pair, seeded by task
+	// index.
+	base := sim.DefaultConfig()
+	if cfg.Sim != nil {
+		base = *cfg.Sim
+	}
 	limit := cfg.DeliverPairs
 	if limit > len(reachable) {
 		limit = len(reachable)
 	}
-	for _, p := range reachable[:limit] {
-		row.DeliverabilityPairs++
+	type outcome struct {
+		delivered bool
+		overhead  float64
+	}
+	outs := runner.Map(cfg.Parallelism, limit, func(i int) outcome {
+		p := reachable[i]
+		simCfg := base
+		simCfg.Seed = runner.TaskSeed(cfg.Seed, i)
 		res, err := n.Send(p[0], p[1], nil, simCfg)
 		if err != nil {
-			continue // map-predicted disconnection: a delivery failure
+			return outcome{} // map-predicted disconnection: a delivery failure
 		}
-		if res.Sim.Delivered {
+		return outcome{delivered: res.Sim.Delivered, overhead: res.Overhead()}
+	})
+	delivered := 0
+	var overheads []float64
+	for _, o := range outs {
+		row.DeliverabilityPairs++
+		if o.delivered {
 			delivered++
-			if o := res.Overhead(); o > 0 {
-				overheads = append(overheads, o)
+			if o.overhead > 0 {
+				overheads = append(overheads, o.overhead)
 			}
 		}
 	}

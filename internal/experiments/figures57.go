@@ -6,6 +6,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/svgrender"
 )
@@ -41,8 +42,10 @@ type Figure7Result struct {
 
 // Figure7 runs one full event simulation on a reachable pair with a
 // multi-conduit route and renders the transcript (green route, light blue
-// forwarding APs, red receive-only APs) to w.
-func Figure7(cityName string, scale float64, seed int64, w io.Writer) (Figure7Result, error) {
+// forwarding APs, red receive-only APs) to w. The candidate-pair scan runs
+// on the parallel runner; the pick is by index order, so the chosen pair
+// is the same at any parallelism.
+func Figure7(cityName string, scale float64, seed int64, par int, w io.Writer) (Figure7Result, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return Figure7Result{}, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -61,18 +64,34 @@ func Figure7(cityName string, scale float64, seed int64, w io.Writer) (Figure7Re
 	if err != nil {
 		return Figure7Result{}, err
 	}
+	// Parallel phase: the cheap per-pair facts (reachability, distance).
+	// Serial phase: the exact improving-candidate walk of the original loop
+	// (PlanRoute only on candidates that beat the best so far), preserved
+	// by folding in index order.
+	type candidate struct {
+		reachable bool
+		dist      float64
+	}
+	cands := runner.Map(par, len(pairs), func(i int) candidate {
+		p := pairs[i]
+		if !n.Reachable(p[0], p[1]) {
+			return candidate{}
+		}
+		return candidate{
+			reachable: true,
+			dist:      n.City.Buildings[p[0]].Centroid.Dist(n.City.Buildings[p[1]].Centroid),
+		}
+	})
 	var src, dst int
 	found := false
 	bestLen := 0.0
-	for _, p := range pairs {
-		if !n.Reachable(p[0], p[1]) {
+	for i, c := range cands {
+		if !c.reachable || c.dist <= bestLen {
 			continue
 		}
-		d := n.City.Buildings[p[0]].Centroid.Dist(n.City.Buildings[p[1]].Centroid)
-		if d > bestLen {
-			if _, err := n.PlanRoute(p[0], p[1]); err == nil {
-				src, dst, bestLen, found = p[0], p[1], d, true
-			}
+		p := pairs[i]
+		if _, err := n.PlanRoute(p[0], p[1]); err == nil {
+			src, dst, bestLen, found = p[0], p[1], c.dist, true
 		}
 	}
 	if !found {

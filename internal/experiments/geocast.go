@@ -6,6 +6,7 @@ import (
 	"citymesh/internal/apps"
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -22,8 +23,11 @@ type GeocastRow struct {
 }
 
 // GeocastSweep sends geocasts to random in-city target discs of each
-// radius from random sources and measures in-area AP coverage.
-func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, casts int) ([]GeocastRow, error) {
+// radius from random sources and measures in-area AP coverage. Candidate
+// casts run as parallel tasks in index-seeded chunks; the first `casts`
+// successful candidates in index order are kept, so the accepted set — and
+// therefore the output — is the same at any parallelism.
+func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, casts, par int) ([]GeocastRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -50,26 +54,55 @@ func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, c
 		if err != nil {
 			return nil, err
 		}
-		for _, p := range pairs {
-			if row.Casts >= casts {
-				break
+		type outcome struct {
+			ok                       bool
+			coverage, bcast, apsArea float64
+		}
+		// Chunked candidate scan: each chunk runs in parallel, seeded by
+		// the candidate's global index, and the fold accepts successes in
+		// index order until the quota fills. Which candidates are accepted
+		// depends only on their index-derived outcomes, never on chunk
+		// boundaries or worker scheduling.
+		for idx := 0; row.Casts < casts && idx < len(pairs); {
+			chunk := casts - row.Casts
+			if p := runner.Parallelism(par); chunk < p {
+				chunk = p
 			}
-			src := p[0]
-			center := n.City.Buildings[p[1]].Centroid
-			anchor := n.Graph.NearestBuilding(center)
-			if anchor < 0 || !n.Reachable(src, anchor) {
-				continue
+			if idx+chunk > len(pairs) {
+				chunk = len(pairs) - idx
 			}
-			simCfg := sim.DefaultConfig()
-			simCfg.Seed = seed
-			res, err := apps.Geocast(n, src, center, radius, nil, simCfg)
-			if err != nil || res.APsInArea == 0 {
-				continue
+			outs := runner.Map(par, chunk, func(k int) outcome {
+				p := pairs[idx+k]
+				src := p[0]
+				center := n.City.Buildings[p[1]].Centroid
+				anchor := n.Graph.NearestBuilding(center)
+				if anchor < 0 || !n.Reachable(src, anchor) {
+					return outcome{}
+				}
+				simCfg := sim.DefaultConfig()
+				simCfg.Seed = runner.TaskSeed(seed, idx+k)
+				res, err := apps.Geocast(n, src, center, radius, nil, simCfg)
+				if err != nil || res.APsInArea == 0 {
+					return outcome{}
+				}
+				return outcome{
+					ok: true, coverage: res.Coverage(),
+					bcast: float64(res.Broadcasts), apsArea: float64(res.APsInArea),
+				}
+			})
+			for _, o := range outs {
+				if row.Casts >= casts {
+					break
+				}
+				if !o.ok {
+					continue
+				}
+				row.Casts++
+				coverages = append(coverages, o.coverage)
+				bcasts = append(bcasts, o.bcast)
+				inArea = append(inArea, o.apsArea)
 			}
-			row.Casts++
-			coverages = append(coverages, res.Coverage())
-			bcasts = append(bcasts, float64(res.Broadcasts))
-			inArea = append(inArea, float64(res.APsInArea))
+			idx += chunk
 		}
 		if len(coverages) > 0 {
 			row.CoverageP50 = stats.Percentile(coverages, 50)
@@ -80,6 +113,16 @@ func GeocastSweep(cityName string, scale float64, seed int64, radii []float64, c
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// GeocastCSV renders the sweep as CSV.
+func GeocastCSV(rows []GeocastRow) string {
+	out := "radius_m,casts,coverage_p50,coverage_mean,bcast_p50,aps_in_area_p50\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%.0f,%d,%.4f,%.4f,%.1f,%.1f\n",
+			r.RadiusM, r.Casts, r.CoverageP50, r.CoverageMean, r.BroadcastsP50, r.APsInAreaP50)
+	}
+	return out
 }
 
 // GeocastText renders the sweep.

@@ -7,6 +7,7 @@ import (
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
 	"citymesh/internal/routing"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -28,8 +29,10 @@ type HeaderSizeResult struct {
 }
 
 // HeaderSizes samples random routable pairs in a city and measures the
-// encoded route and header sizes.
-func HeaderSizes(cityName string, scale float64, seed int64, samples int) (HeaderSizeResult, error) {
+// encoded route and header sizes. Candidates run as parallel tasks in
+// index-ordered chunks; the first `samples` routable pairs in index order
+// are kept, so output does not depend on parallelism.
+func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (HeaderSizeResult, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return HeaderSizeResult{}, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -49,26 +52,52 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples int) (Heade
 	if err != nil {
 		return HeaderSizeResult{}, err
 	}
-	for _, p := range pairs {
-		if len(routeBits) >= samples {
-			break
+	type outcome struct {
+		ok                           bool
+		routeBits, headerBits        float64
+		waypoints, uncompressedPaths float64
+	}
+	for idx := 0; len(routeBits) < samples && idx < len(pairs); {
+		chunk := samples - len(routeBits)
+		if p := runner.Parallelism(par); chunk < p {
+			chunk = p
 		}
-		path, err := n.BuildingPath(p[0], p[1])
-		if err != nil {
-			continue
+		if idx+chunk > len(pairs) {
+			chunk = len(pairs) - idx
 		}
-		r, err := n.PlanRoute(p[0], p[1])
-		if err != nil {
-			continue
+		outs := runner.Map(par, chunk, func(k int) outcome {
+			p := pairs[idx+k]
+			path, err := n.BuildingPath(p[0], p[1])
+			if err != nil {
+				return outcome{}
+			}
+			r, err := n.PlanRoute(p[0], p[1])
+			if err != nil {
+				return outcome{}
+			}
+			pkt, err := n.NewPacket(r, nil)
+			if err != nil {
+				return outcome{}
+			}
+			return outcome{
+				ok:        true,
+				routeBits: float64(pkt.Header.RouteBits()), headerBits: float64(pkt.Header.HeaderBits()),
+				waypoints: float64(len(r.Waypoints)), uncompressedPaths: float64(len(path)),
+			}
+		})
+		for _, o := range outs {
+			if len(routeBits) >= samples {
+				break
+			}
+			if !o.ok {
+				continue
+			}
+			routeBits = append(routeBits, o.routeBits)
+			headerBits = append(headerBits, o.headerBits)
+			wps = append(wps, o.waypoints)
+			rawWps = append(rawWps, o.uncompressedPaths)
 		}
-		pkt, err := n.NewPacket(r, nil)
-		if err != nil {
-			continue
-		}
-		routeBits = append(routeBits, float64(pkt.Header.RouteBits()))
-		headerBits = append(headerBits, float64(pkt.Header.HeaderBits()))
-		wps = append(wps, float64(len(r.Waypoints)))
-		rawWps = append(rawWps, float64(len(path)))
+		idx += chunk
 	}
 	if len(routeBits) == 0 {
 		return HeaderSizeResult{}, fmt.Errorf("experiments: no routable pairs in %s", cityName)
@@ -91,5 +120,17 @@ func (r HeaderSizeResult) Text() string {
 	fmt.Fprintf(&sb, "  waypoints after compression:    p50=%.0f p90=%.0f\n", r.Waypoints.P50, r.Waypoints.P90)
 	fmt.Fprintf(&sb, "  compressed route bits:          p50=%.0f p90=%.0f\n", r.RouteBits.P50, r.RouteBits.P90)
 	fmt.Fprintf(&sb, "  full header bits:               p50=%.0f p90=%.0f\n", r.FullHeaderBits.P50, r.FullHeaderBits.P90)
+	return sb.String()
+}
+
+// CSV renders the header-size result as a one-row CSV.
+func (r HeaderSizeResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("city,routes,uncompressed_p50,uncompressed_p90,waypoints_p50,waypoints_p90," +
+		"route_bits_p50,route_bits_p90,header_bits_p50,header_bits_p90\n")
+	fmt.Fprintf(&sb, "%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+		r.City, r.Routes, r.UncompressedWps.P50, r.UncompressedWps.P90,
+		r.Waypoints.P50, r.Waypoints.P90, r.RouteBits.P50, r.RouteBits.P90,
+		r.FullHeaderBits.P50, r.FullHeaderBits.P90)
 	return sb.String()
 }

@@ -14,6 +14,7 @@ import (
 	"citymesh/internal/geo"
 	"citymesh/internal/measure"
 	"citymesh/internal/mesh"
+	"citymesh/internal/runner"
 	"citymesh/internal/stats"
 )
 
@@ -32,8 +33,9 @@ type MeasurementStudyResult struct {
 }
 
 // MeasurementStudy surveys four areas of a generated city mirroring the
-// paper's downtown / campus / residential / river walks.
-func MeasurementStudy(seed int64) (*MeasurementStudyResult, error) {
+// paper's downtown / campus / residential / river walks. The four area
+// surveys are independent and run as parallel tasks.
+func MeasurementStudy(seed int64, par int) (*MeasurementStudyResult, error) {
 	spec, ok := citygen.Preset("boston")
 	if !ok {
 		return nil, fmt.Errorf("experiments: boston preset missing")
@@ -73,21 +75,38 @@ func MeasurementStudy(seed int64) (*MeasurementStudyResult, error) {
 		CommonByDistance:   make(map[string]*stats.Binned),
 		Areas:              []string{"downtown", "campus", "residential", "river"},
 	}
-	surveys := map[string]struct {
+	surveys := []struct {
+		area  string
 		track []geo.Point
 		cfg   measure.Config
 	}{
-		"downtown":    {downtown, cfg},
-		"campus":      {campus, cfg},
-		"residential": {residential, cfg},
-		"river":       {river, riverCfg},
+		{"downtown", downtown, cfg},
+		{"campus", campus, cfg},
+		{"residential", residential, cfg},
+		{"river", river, riverCfg},
 	}
-	for area, s := range surveys {
-		ds := measure.Survey(m, area, s.track, s.cfg)
-		res.Rows[area] = measure.Table1(ds)
-		res.MACsPerMeasurement[area] = stats.NewCDF(measure.MACsPerMeasurement(ds))
-		res.Spread[area] = stats.NewCDF(measure.APSpread(ds))
-		res.CommonByDistance[area] = measure.CommonAPs(ds, 25, 20000, seed)
+	type areaResult struct {
+		row    measure.Table1Row
+		macs   *stats.CDF
+		spread *stats.CDF
+		common *stats.Binned
+	}
+	outs := runner.Map(par, len(surveys), func(i int) areaResult {
+		s := surveys[i]
+		ds := measure.Survey(m, s.area, s.track, s.cfg)
+		return areaResult{
+			row:    measure.Table1(ds),
+			macs:   stats.NewCDF(measure.MACsPerMeasurement(ds)),
+			spread: stats.NewCDF(measure.APSpread(ds)),
+			common: measure.CommonAPs(ds, 25, 20000, seed),
+		}
+	})
+	for i, o := range outs {
+		area := surveys[i].area
+		res.Rows[area] = o.row
+		res.MACsPerMeasurement[area] = o.macs
+		res.Spread[area] = o.spread
+		res.CommonByDistance[area] = o.common
 	}
 	return res, nil
 }

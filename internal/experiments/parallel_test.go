@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"citymesh/internal/faults"
+)
+
+// The tentpole guarantee of the parallel sweep engine: for the same seed,
+// parallel output is byte-identical to serial output. These tests run the
+// resilience and geocast sweeps at Parallelism 1 and 8 and diff the
+// rendered Text/CSV forms, which include every reported number.
+
+func TestResilienceParallelMatchesSerial(t *testing.T) {
+	run := func(par int) ([]ResilienceRow, error) {
+		return Resilience(ResilienceConfig{
+			Cities: []string{"gridtown"},
+			Mode:   faults.ModeUniform,
+			Fracs:  []float64{0, 0.3},
+			Pairs:  10,
+			Seed:   1,
+			Scale:  0.3,
+
+			Parallelism: par,
+		})
+	}
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if got, want := ResilienceText(parallel), ResilienceText(serial); got != want {
+		t.Errorf("Text() differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := ResilienceCSV(parallel), ResilienceCSV(serial); got != want {
+		t.Errorf("CSV() differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+func TestGeocastParallelMatchesSerial(t *testing.T) {
+	run := func(par int) ([]GeocastRow, error) {
+		return GeocastSweep("gridtown", 0.3, 1, []float64{80, 200}, 5, par)
+	}
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if got, want := GeocastText(parallel), GeocastText(serial); got != want {
+		t.Errorf("Text() differs between par=1 and par=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := GeocastCSV(parallel), GeocastCSV(serial); got != want {
+		t.Errorf("CSV() differs between par=1 and par=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// Figure6 is the headline table; hold it to the same guarantee.
+func TestFigure6ParallelMatchesSerial(t *testing.T) {
+	run := func(par int) ([]Figure6Row, error) {
+		return Figure6(Figure6Config{
+			Cities: []string{"gridtown"}, ReachPairs: 200, DeliverPairs: 15,
+			Seed: 1, Scale: 0.3, Parallelism: par,
+		})
+	}
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if got, want := Figure6CSV(parallel), Figure6CSV(serial); got != want {
+		t.Errorf("CSV() differs between par=1 and par=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -22,7 +23,7 @@ type RadioRow struct {
 
 // RadioModelSweep runs the same pair sample under different radio models
 // and collision settings.
-func RadioModelSweep(cityName string, scale float64, seed int64, pairCount int) ([]RadioRow, error) {
+func RadioModelSweep(cityName string, scale float64, seed int64, pairCount, par int) ([]RadioRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -60,22 +61,36 @@ func RadioModelSweep(cityName string, scale float64, seed int64, pairCount int) 
 		row := RadioRow{Model: st.name}
 		delivered := 0
 		var overheads, delays []float64
-		for _, p := range pairs {
+		type outcome struct {
+			ran, delivered bool
+			delayMs        float64
+			overhead       float64
+		}
+		outs := runner.Map(par, len(pairs), func(i int) outcome {
 			simCfg := sim.DefaultConfig()
-			simCfg.Seed = seed
+			simCfg.Seed = runner.TaskSeed(seed, i)
 			simCfg.Radio = st.radio
 			simCfg.CollisionWindow = st.collision
 			simCfg.LossProb = st.loss
-			res, err := n.Send(p[0], p[1], nil, simCfg)
+			res, err := n.Send(pairs[i][0], pairs[i][1], nil, simCfg)
 			if err != nil {
+				return outcome{}
+			}
+			return outcome{
+				ran: true, delivered: res.Sim.Delivered,
+				delayMs: res.Sim.DeliveryTime * 1000, overhead: res.Overhead(),
+			}
+		})
+		for _, o := range outs {
+			if !o.ran {
 				continue
 			}
 			row.Pairs++
-			if res.Sim.Delivered {
+			if o.delivered {
 				delivered++
-				delays = append(delays, res.Sim.DeliveryTime*1000)
-				if o := res.Overhead(); o > 0 {
-					overheads = append(overheads, o)
+				delays = append(delays, o.delayMs)
+				if o.overhead > 0 {
+					overheads = append(overheads, o.overhead)
 				}
 			}
 		}
@@ -91,6 +106,16 @@ func RadioModelSweep(cityName string, scale float64, seed int64, pairCount int) 
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// RadioCSV renders the sweep as CSV.
+func RadioCSV(rows []RadioRow) string {
+	out := "model,pairs,deliverability,overhead_p50,delay_ms_p50\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%s,%d,%.4f,%.2f,%.1f\n",
+			r.Model, r.Pairs, r.Deliverability, r.OverheadMedian, r.DeliveryMsP50)
+	}
+	return out
 }
 
 // RadioText renders the sweep.

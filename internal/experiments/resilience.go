@@ -7,6 +7,7 @@ import (
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
 	"citymesh/internal/faults"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -54,6 +55,14 @@ type ResilienceConfig struct {
 	Scale float64
 	// Reliable configures the ladder; zero-value uses the defaults.
 	Reliable core.ReliableConfig
+	// Sim overrides the per-send simulator settings (delay, jitter, loss,
+	// event cap); nil uses sim.DefaultConfig(). Seed and injected failures
+	// are set per task regardless.
+	Sim *sim.Config
+	// Parallelism is the worker count for the pair sweep: 0 or negative
+	// uses GOMAXPROCS, 1 forces serial. Output is byte-identical across
+	// parallelism levels for the same seed.
+	Parallelism int
 }
 
 // DefaultResilienceConfig sweeps uniform failure on every preset.
@@ -92,6 +101,11 @@ func Resilience(cfg ResilienceConfig) ([]ResilienceRow, error) {
 	}
 	if cfg.Pairs <= 0 {
 		cfg.Pairs = 30
+	}
+	if cfg.Sim != nil {
+		if err := cfg.Sim.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
 	}
 	var rows []ResilienceRow
 	for _, name := range cities {
@@ -138,32 +152,66 @@ func resilienceCell(n *core.Network, city string, pairs [][2]int, frac float64, 
 	if rcfg.MultipathK == 0 && rcfg.Retries == 0 && rcfg.BackoffBase == 0 {
 		rcfg = core.DefaultReliableConfig()
 	}
-	rcfg.Seed = cfg.Seed
+	base := sim.DefaultConfig()
+	if cfg.Sim != nil {
+		base = *cfg.Sim
+	}
+
+	// One task per pair on the parallel runner. Each task's randomness
+	// derives from (sweep seed, task index) — the same pair sees the same
+	// loss/jitter realization at any parallelism — and results fold below
+	// in task-index order, exactly as the serial loop did.
+	type outcome struct {
+		plainRan, plainOK bool
+		relRan, relOK     bool
+		plainCost         float64
+		relCost           float64
+		lostToDead        int
+		rung              core.Rung
+	}
+	outs := runner.Map(cfg.Parallelism, len(pairs), func(i int) outcome {
+		p := pairs[i]
+		seed := runner.TaskSeed(cfg.Seed, i)
+		simCfg := base
+		simCfg.Seed = seed
+		inj.Apply(&simCfg)
+
+		var o outcome
+		if res, err := n.Send(p[0], p[1], nil, simCfg); err == nil {
+			o.plainRan = true
+			o.lostToDead = res.Sim.LostToDeadAP
+			o.plainCost = float64(res.Sim.Broadcasts)
+			o.plainOK = res.Sim.Delivered
+		}
+		rc := rcfg
+		rc.Seed = seed
+		if rr, err := n.SendReliable(p[0], p[1], nil, simCfg, rc); err == nil {
+			o.relRan = true
+			o.relCost = float64(rr.TotalBroadcasts)
+			o.relOK = rr.Delivered
+			o.rung = rr.Rung
+		}
+		return o
+	})
 
 	var plainDelivered, reliableDelivered int
 	var plainCost, reliableCost []float64
-	for _, p := range pairs {
-		simCfg := sim.DefaultConfig()
-		simCfg.Seed = cfg.Seed
-		inj.Apply(&simCfg)
-
+	for _, o := range outs {
 		row.Pairs++
-		if res, err := n.Send(p[0], p[1], nil, simCfg); err == nil {
-			row.LostToDeadAP += res.Sim.LostToDeadAP
-			plainCost = append(plainCost, float64(res.Sim.Broadcasts))
-			if res.Sim.Delivered {
+		if o.plainRan {
+			row.LostToDeadAP += o.lostToDead
+			plainCost = append(plainCost, o.plainCost)
+			if o.plainOK {
 				plainDelivered++
 			}
 		}
-		rr, err := n.SendReliable(p[0], p[1], nil, simCfg, rcfg)
-		if err != nil {
-			continue
-		}
-		reliableCost = append(reliableCost, float64(rr.TotalBroadcasts))
-		if rr.Delivered {
-			reliableDelivered++
-			if int(rr.Rung) < core.NumRungs {
-				row.RungWins[rr.Rung]++
+		if o.relRan {
+			reliableCost = append(reliableCost, o.relCost)
+			if o.relOK {
+				reliableDelivered++
+				if int(o.rung) < core.NumRungs {
+					row.RungWins[o.rung]++
+				}
 			}
 		}
 	}

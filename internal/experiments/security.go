@@ -5,6 +5,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -25,7 +26,7 @@ type SecurityRow struct {
 
 // MultipathUnderAttack sweeps blackhole fractions × path counts on one
 // city.
-func MultipathUnderAttack(cityName string, scale float64, seed int64, fracs []float64, pathCounts []int, pairCount int) ([]SecurityRow, error) {
+func MultipathUnderAttack(cityName string, scale float64, seed int64, fracs []float64, pathCounts []int, pairCount, par int) ([]SecurityRow, error) {
 	spec, ok := citygen.Preset(cityName)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown city %q", cityName)
@@ -58,17 +59,27 @@ func MultipathUnderAttack(cityName string, scale float64, seed int64, fracs []fl
 			row := SecurityRow{AttackFrac: f, Paths: k}
 			delivered := 0
 			var bcasts []float64
-			for _, p := range pairs {
+			type outcome struct {
+				ran, delivered bool
+				bcasts         float64
+			}
+			outs := runner.Map(par, len(pairs), func(i int) outcome {
 				simCfg := sim.DefaultConfig()
-				simCfg.Seed = seed
+				simCfg.Seed = runner.TaskSeed(seed, i)
 				simCfg.Blackholes = blackholes
-				res, err := n.MultipathSend(p[0], p[1], nil, k, simCfg)
+				res, err := n.MultipathSend(pairs[i][0], pairs[i][1], nil, k, simCfg)
 				if err != nil {
+					return outcome{}
+				}
+				return outcome{ran: true, delivered: res.Delivered, bcasts: float64(res.TotalBroadcasts)}
+			})
+			for _, o := range outs {
+				if !o.ran {
 					continue
 				}
 				row.Pairs++
-				bcasts = append(bcasts, float64(res.TotalBroadcasts))
-				if res.Delivered {
+				bcasts = append(bcasts, o.bcasts)
+				if o.delivered {
 					delivered++
 				}
 			}
@@ -82,6 +93,16 @@ func MultipathUnderAttack(cityName string, scale float64, seed int64, fracs []fl
 		}
 	}
 	return rows, nil
+}
+
+// SecurityCSV renders the sweep as CSV.
+func SecurityCSV(rows []SecurityRow) string {
+	out := "attack_frac,paths,pairs,deliverability,bcast_p50\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("%.2f,%d,%d,%.4f,%.1f\n",
+			r.AttackFrac, r.Paths, r.Pairs, r.Deliverability, r.BroadcastsP50)
+	}
+	return out
 }
 
 // SecurityText renders the sweep as a table.

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestMultipathUnderAttack(t *testing.T) {
-	rows, err := MultipathUnderAttack("gridtown", 0.3, 1, []float64{0, 0.15}, []int{1, 3}, 8)
+	rows, err := MultipathUnderAttack("gridtown", 0.3, 1, []float64{0, 0.15}, []int{1, 3}, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,13 +29,13 @@ func TestMultipathUnderAttack(t *testing.T) {
 	if SecurityText(rows) == "" {
 		t.Error("empty text")
 	}
-	if _, err := MultipathUnderAttack("nope", 1, 1, nil, nil, 1); err == nil {
+	if _, err := MultipathUnderAttack("nope", 1, 1, nil, nil, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestRadioModelSweep(t *testing.T) {
-	rows, err := RadioModelSweep("gridtown", 0.3, 1, 8)
+	rows, err := RadioModelSweep("gridtown", 0.3, 1, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,13 +55,13 @@ func TestRadioModelSweep(t *testing.T) {
 	if RadioText(rows) == "" {
 		t.Error("empty text")
 	}
-	if _, err := RadioModelSweep("nope", 1, 1, 1); err == nil {
+	if _, err := RadioModelSweep("nope", 1, 1, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }
 
 func TestGeocastSweep(t *testing.T) {
-	rows, err := GeocastSweep("gridtown", 0.3, 1, []float64{80, 200}, 5)
+	rows, err := GeocastSweep("gridtown", 0.3, 1, []float64{80, 200}, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestGeocastSweep(t *testing.T) {
 	if GeocastText(rows) == "" {
 		t.Error("empty text")
 	}
-	if _, err := GeocastSweep("nope", 1, 1, nil, 1); err == nil {
+	if _, err := GeocastSweep("nope", 1, 1, nil, 1, 1); err == nil {
 		t.Error("unknown city should error")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"citymesh/internal/core"
 	"citymesh/internal/faults"
 	"citymesh/internal/health"
+	"citymesh/internal/runner"
 	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
@@ -42,6 +43,11 @@ type SelfHealingConfig struct {
 	// Eventual configures the healing scheduler of the store-and-heal
 	// phase; zero-value uses the defaults.
 	Eventual core.EventualConfig
+	// Parallelism is the worker count for the independent phases (plain
+	// ladder, store-and-heal): 0 or negative uses GOMAXPROCS. The
+	// shared-health-map phase is inherently sequential — its whole point is
+	// that earlier sends teach later ones — and always runs serially.
+	Parallelism int
 }
 
 // DefaultSelfHealingConfig is the evaluation setting: gridtown under a 30%
@@ -156,19 +162,33 @@ func SelfHealing(cfg SelfHealingConfig) (SelfHealingResult, error) {
 	simCfg.Seed = cfg.Seed
 	inj.Apply(&simCfg)
 
-	// Phase A: the health-less ladder, pair by pair.
-	ladderDelivered := 0
-	for _, p := range pairs {
+	// Phase A: the health-less ladder — independent pairs, so they run as
+	// parallel tasks, folded in index order.
+	type ladderOutcome struct {
+		ran, delivered, direct bool
+		broadcasts             int
+	}
+	ladderOuts := runner.Map(cfg.Parallelism, len(pairs), func(i int) ladderOutcome {
 		rc := rcfg
 		rc.Health = nil
-		rr, err := n.SendReliable(p[0], p[1], nil, simCfg, rc)
+		rr, err := n.SendReliable(pairs[i][0], pairs[i][1], nil, simCfg, rc)
 		if err != nil {
+			return ladderOutcome{}
+		}
+		return ladderOutcome{
+			ran: true, delivered: rr.Delivered,
+			direct: rr.Delivered && rr.Rung == core.RungDirect, broadcasts: rr.TotalBroadcasts,
+		}
+	})
+	ladderDelivered := 0
+	for _, o := range ladderOuts {
+		if !o.ran {
 			continue
 		}
-		out.LadderBroadcasts += rr.TotalBroadcasts
-		if rr.Delivered {
+		out.LadderBroadcasts += o.broadcasts
+		if o.delivered {
 			ladderDelivered++
-			if rr.Rung == core.RungDirect {
+			if o.direct {
 				out.LadderDirectWins++
 			}
 		}
@@ -177,7 +197,9 @@ func SelfHealing(cfg SelfHealingConfig) (SelfHealingResult, error) {
 	// Phase B: the same pairs, same order, under one shared route-health
 	// map — the accumulated memory of a relay that serves the whole batch.
 	// Early failures teach it where the damage is; later sends route
-	// around it and skip the escalation cost.
+	// around it and skip the escalation cost. This phase is deliberately
+	// serial: each send depends on the map state the previous sends left
+	// behind, so there are no independent tasks to hand the runner.
 	hm := health.New(cfg.Health)
 	healthDelivered := 0
 	var exhausted [][2]int
@@ -210,20 +232,30 @@ func SelfHealing(cfg SelfHealingConfig) (SelfHealingResult, error) {
 	out.Undeliverable = len(exhausted)
 	if cfg.RecoverAt > 0 && len(exhausted) > 0 {
 		healing := inj.WithRecovery(cfg.RecoverAt)
-		var heals []float64
-		for _, p := range exhausted {
+		type healOutcome struct {
+			ran, parked, healed bool
+			timeToHeal          float64
+		}
+		healOuts := runner.Map(cfg.Parallelism, len(exhausted), func(i int) healOutcome {
 			sc := sim.DefaultConfig()
 			sc.Seed = cfg.Seed
 			healing.Apply(&sc)
-			res, err := n.SendEventually(p[0], p[1], nil, sc, rcfg, cfg.Eventual)
+			res, err := n.SendEventually(exhausted[i][0], exhausted[i][1], nil, sc, rcfg, cfg.Eventual)
 			if err != nil {
-				continue
+				return healOutcome{}
 			}
-			if res.Parked {
+			return healOutcome{
+				ran: true, parked: res.Parked,
+				healed: res.Parked && res.HealedFromPark, timeToHeal: res.TimeToHeal,
+			}
+		})
+		var heals []float64
+		for _, o := range healOuts {
+			if o.ran && o.parked {
 				out.Parked++
-				if res.HealedFromPark {
+				if o.healed {
 					out.Healed++
-					heals = append(heals, res.TimeToHeal)
+					heals = append(heals, o.timeToHeal)
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package mesh
 
 import (
 	"sort"
+	"sync"
 
 	"citymesh/internal/geo"
 )
@@ -157,7 +158,9 @@ func (m *Mesh) AddAPs(positions []geo.Point) []int {
 		m.grid.Insert(p)
 		ids = append(ids, id)
 	}
-	m.adjBuilt = false
+	// AddAPs is a build-time mutation (never concurrent with queries), so
+	// re-arming the lazy adjacency cache with a fresh Once is safe.
+	m.adjOnce = sync.Once{}
 	m.adj = nil
 	m.buildUnionFind()
 	return ids

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"citymesh/internal/geo"
 	"citymesh/internal/osm"
@@ -56,7 +57,7 @@ type Mesh struct {
 	// byBuilding lists AP ids per building.
 	byBuilding [][]int32
 	uf         *unionFind
-	adjBuilt   bool
+	adjOnce    sync.Once
 	adj        [][]int32
 }
 
@@ -142,18 +143,18 @@ func (m *Mesh) Neighbors(id int, fn func(other int)) {
 }
 
 // Adjacency returns (building and caching) the AP adjacency lists. For
-// large meshes this is the dominant memory cost, so it is built lazily.
+// large meshes this is the dominant memory cost, so it is built lazily —
+// under sync.Once, because concurrent sim.Run calls over one Network all
+// land here on their first BFS.
 func (m *Mesh) Adjacency() [][]int32 {
-	if m.adjBuilt {
-		return m.adj
-	}
-	m.adj = make([][]int32, len(m.APs))
-	for i := range m.APs {
-		m.Neighbors(i, func(j int) {
-			m.adj[i] = append(m.adj[i], int32(j))
-		})
-	}
-	m.adjBuilt = true
+	m.adjOnce.Do(func() {
+		m.adj = make([][]int32, len(m.APs))
+		for i := range m.APs {
+			m.Neighbors(i, func(j int) {
+				m.adj[i] = append(m.adj[i], int32(j))
+			})
+		}
+	})
 	return m.adj
 }
 
@@ -175,6 +176,10 @@ func (m *Mesh) buildUnionFind() {
 			}
 		})
 	}
+	// Flatten every parent chain now so find() is a pure read afterwards.
+	// Path compression during queries would be a write race once parallel
+	// sweeps call Reachable concurrently.
+	m.uf.flatten()
 }
 
 // Reachable reports whether any AP in building a can reach any AP in
@@ -246,7 +251,9 @@ func (m *Mesh) MinTransmissions(src, dst int) (int, error) {
 	return 0, ErrUnreachable
 }
 
-// unionFind is a weighted quick-union with path halving.
+// unionFind is a weighted quick-union. Path compression happens only in
+// flatten(), called once at build time; after that find is read-only and
+// safe for concurrent callers.
 type unionFind struct {
 	parent []int32
 	size   []int32
@@ -261,10 +268,25 @@ func newUnionFind(n int) *unionFind {
 	return uf
 }
 
+// flatten points every element directly at its root, so later find calls
+// never write to parent.
+func (uf *unionFind) flatten() {
+	for i := range uf.parent {
+		uf.parent[i] = int32(uf.root(i))
+	}
+}
+
+func (uf *unionFind) root(x int) int {
+	p := int32(x)
+	for uf.parent[p] != p {
+		p = uf.parent[p]
+	}
+	return int(p)
+}
+
 func (uf *unionFind) find(x int) int {
 	p := int32(x)
 	for uf.parent[p] != p {
-		uf.parent[p] = uf.parent[uf.parent[p]]
 		p = uf.parent[p]
 	}
 	return int(p)

@@ -211,8 +211,13 @@ func (h *eventHeap) Pop() any {
 
 // Run simulates the propagation of pkt, injected at the first AP of the
 // source building, until the event queue drains or MaxEvents is hit. The
-// destination building is taken from the packet header.
+// destination building is taken from the packet header. An invalid config
+// (see Config.Validate) yields the same empty not-delivered Result as an
+// out-of-range source: SourceAP == -1 and nothing simulated.
 func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Config) Result {
+	if cfg.Validate() != nil {
+		return Result{SourceAP: -1}
+	}
 	if cfg.MaxEvents <= 0 {
 		cfg.MaxEvents = 5_000_000
 	}

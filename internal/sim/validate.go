@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinels for Config.Validate, matching core.ReliableConfig's
+// convention: match with errors.Is, wrap with context at the call site.
+var (
+	// ErrNegativeTxDelay rejects a negative per-transmission latency.
+	ErrNegativeTxDelay = errors.New("sim: TxDelay must be >= 0")
+	// ErrNegativeJitter rejects a negative jitter bound.
+	ErrNegativeJitter = errors.New("sim: JitterMax must be >= 0")
+	// ErrBadLossProb rejects a loss probability outside [0, 1].
+	ErrBadLossProb = errors.New("sim: LossProb must be in [0, 1]")
+	// ErrNegativeMaxEvents rejects a negative event cap. Zero is not an
+	// error: it selects the default cap, like every other zero field.
+	ErrNegativeMaxEvents = errors.New("sim: MaxEvents must be >= 0")
+	// ErrNegativeCollisionWindow rejects a negative collision window.
+	ErrNegativeCollisionWindow = errors.New("sim: CollisionWindow must be >= 0")
+)
+
+// Validate checks the physically meaningless configurations a caller can
+// construct: negative delays, probabilities outside [0, 1], a negative
+// event cap. Zero values are not errors — they select defaults (zero
+// MaxEvents becomes the 5M runaway guard inside Run), mirroring
+// core.ReliableConfig.Validate. Run validates internally; flag-driven
+// callers validate up front to fail fast with a usable message.
+func (c Config) Validate() error {
+	if c.TxDelay < 0 {
+		return fmt.Errorf("%w (got %v)", ErrNegativeTxDelay, c.TxDelay)
+	}
+	if c.JitterMax < 0 {
+		return fmt.Errorf("%w (got %v)", ErrNegativeJitter, c.JitterMax)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("%w (got %v)", ErrBadLossProb, c.LossProb)
+	}
+	if c.MaxEvents < 0 {
+		return fmt.Errorf("%w (got %d)", ErrNegativeMaxEvents, c.MaxEvents)
+	}
+	if c.CollisionWindow < 0 {
+		return fmt.Errorf("%w (got %v)", ErrNegativeCollisionWindow, c.CollisionWindow)
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want error
+	}{
+		{"default ok", func(c *Config) {}, nil},
+		{"zero value ok", func(c *Config) { *c = Config{} }, nil},
+		{"negative tx delay", func(c *Config) { c.TxDelay = -0.001 }, ErrNegativeTxDelay},
+		{"negative jitter", func(c *Config) { c.JitterMax = -1 }, ErrNegativeJitter},
+		{"loss below zero", func(c *Config) { c.LossProb = -0.1 }, ErrBadLossProb},
+		{"loss above one", func(c *Config) { c.LossProb = 1.5 }, ErrBadLossProb},
+		{"loss at bounds ok", func(c *Config) { c.LossProb = 1 }, nil},
+		{"negative max events", func(c *Config) { c.MaxEvents = -1 }, ErrNegativeMaxEvents},
+		{"zero max events ok", func(c *Config) { c.MaxEvents = 0 }, nil},
+		{"negative collision window", func(c *Config) { c.CollisionWindow = -0.5 }, ErrNegativeCollisionWindow},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(_, %v)", err, tc.want)
+			}
+		})
+	}
+}
