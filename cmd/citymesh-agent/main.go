@@ -60,6 +60,7 @@ func main() {
 		hello     = flag.Duration("hello", agent.DefaultBeaconInterval, "HELLO liveness beacon interval (0: off)")
 		nbrRate   = flag.Float64("neighbor-rate", agent.DefaultNeighborRate, "per-neighbor inbound frames/sec (negative: unlimited)")
 		budget    = flag.Float64("inbound-budget", 4<<20, "global inbound byte budget, bytes/sec (0: unlimited)")
+		cacheCap  = flag.Int("conduit-cache", 0, "conduit-region cache capacity in messages (0: default, negative: disable)")
 	)
 	flag.Parse()
 
@@ -126,6 +127,7 @@ func main() {
 		Store:              store,
 		NeighborRate:       *nbrRate,
 		InboundBytesPerSec: *budget,
+		ConduitCacheCap:    *cacheCap,
 	}, nil)
 	a.OnDeliver(func(p *packet.Packet) {
 		fmt.Printf("DELIVERED msg=%016x from building %d: %q\n",
@@ -254,6 +256,9 @@ func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, st
 		st.Received, st.Duplicates, st.Rebroadcast, st.OutOfConduit, st.Stored)
 	fmt.Printf("drops:  total=%d malformed=%d oversized=%d rate-limited=%d panics-recovered=%d\n",
 		st.Dropped, st.DroppedMalformed, st.DroppedOversized, st.DroppedRateLimited, st.PanicsRecovered)
+	d := st.Decisions
+	fmt.Printf("kernel: first-hop=%d in-conduit=%d out-of-conduit=%d geocast=%d ttl-expired=%d bad-route=%d\n",
+		d.FirstHop, d.InConduit, d.OutOfConduit, d.Geocast, d.TTLExpired, d.BadRoute)
 	restarts, panics := tr.Health()
 	fmt.Printf("transport: addr=%s watchdog-restarts=%d handler-panics=%d\n", tr.Addr(), restarts, panics)
 	fmt.Printf("liveness: hellos-sent=%d hellos-received=%d known-neighbors=%d\n",

@@ -25,6 +25,7 @@ import (
 
 	"citymesh"
 	"citymesh/internal/agent"
+	"citymesh/internal/fwd"
 	"citymesh/internal/packet"
 	"citymesh/internal/postbox"
 )
@@ -164,15 +165,29 @@ func main() {
 		log.Fatal("timed out waiting for delivery")
 	}
 
-	// Report forwarding activity.
+	// Report forwarding activity, including the shared kernel's verdict
+	// breakdown — the same counters a sim run reports, so this live
+	// testbed's behavior is directly comparable to its simulated twin.
 	totalRx, totalFwd := 0, 0
+	var dec fwd.Counts
 	for _, n := range nodes {
 		st := n.ag.Stats()
 		totalRx += st.Received
 		totalFwd += st.Rebroadcast
+		d := st.Decisions
+		dec = fwd.Counts{
+			FirstHop:     dec.FirstHop + d.FirstHop,
+			TTLExpired:   dec.TTLExpired + d.TTLExpired,
+			Geocast:      dec.Geocast + d.Geocast,
+			InConduit:    dec.InConduit + d.InConduit,
+			OutOfConduit: dec.OutOfConduit + d.OutOfConduit,
+			BadRoute:     dec.BadRoute + d.BadRoute,
+		}
 	}
 	fmt.Printf("activity: %d frame receptions, %d rebroadcasts across %d agents\n",
 		totalRx, totalFwd, len(nodes))
+	fmt.Printf("kernel verdicts: first-hop=%d in-conduit=%d out-of-conduit=%d ttl-expired=%d bad-route=%d\n",
+		dec.FirstHop, dec.InConduit, dec.OutOfConduit, dec.TTLExpired, dec.BadRoute)
 
 	// --- Phase 2: crash-safe postbox at the destination AP ---
 

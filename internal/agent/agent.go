@@ -15,7 +15,7 @@ import (
 	"sync"
 	"time"
 
-	"citymesh/internal/conduit"
+	"citymesh/internal/fwd"
 	"citymesh/internal/geo"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
@@ -46,6 +46,10 @@ type Config struct {
 	// IDs remembered); 0 means DefaultDedupCap. APs run for months on
 	// 32 MB routers — the cache must not grow with traffic.
 	DedupCap int
+	// ConduitCacheCap bounds the forwarding kernel's per-message conduit
+	// cache; 0 means fwd.DefaultCacheCap, negative disables caching (every
+	// frame reconstructs its conduits).
+	ConduitCacheCap int
 	// Store optionally supplies the postbox store (e.g. one opened with
 	// postbox.OpenDir for crash-safe persistence); nil creates a fresh
 	// in-memory store.
@@ -132,6 +136,10 @@ type Stats struct {
 	// OutOfConduit counts received frames not rebroadcast because this AP
 	// lies outside the packet's conduit — the paper's core suppression.
 	OutOfConduit int
+	// Decisions is the forwarding kernel's per-reason verdict tally — the
+	// same counters a sim run records in sim.Result.Decisions, so a live
+	// agent's behavior is directly comparable to its simulated twin.
+	Decisions fwd.Counts
 	// PanicsRecovered counts frame-handler panics absorbed by the runtime
 	// supervisor; any nonzero value is a bug worth a report, but it must
 	// not kill a deployed agent.
@@ -153,6 +161,16 @@ type Agent struct {
 	store   *postbox.Store
 	limiter *limiter
 	clock   func() time.Time
+
+	// kernel is the shared forwarding engine (internal/fwd) — the same
+	// code path the simulator's CityMesh policy runs. The agent adds its
+	// armor (rate limits, drop counters, panic recovery) around it but
+	// never re-implements the conduit/TTL/deliver decision.
+	kernel *fwd.Kernel
+	// view is cfg.City as the kernel's map view (nil when no map was
+	// configured, which the kernel treats as an unresolvable route).
+	view fwd.MapView
+	self fwd.Self
 
 	mu        sync.Mutex
 	seen      *dedupSet
@@ -183,15 +201,21 @@ func New(cfg Config, tr Transport) *Agent {
 	if burst == 0 && rate == DefaultNeighborRate {
 		burst = DefaultNeighborBurst
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:       cfg,
 		tr:        tr,
 		store:     store,
 		clock:     clock,
 		limiter:   newLimiter(rate, burst, cfg.InboundBytesPerSec, cfg.InboundBurstBytes, 0),
+		kernel:    fwd.NewKernel(fwd.Options{CacheCap: cfg.ConduitCacheCap}),
+		self:      fwd.Self{Pos: cfg.Pos, Building: cfg.Building},
 		seen:      newDedupSet(cfg.DedupCap),
 		neighbors: make(map[string]time.Time),
 	}
+	if cfg.City != nil {
+		a.view = cfg.City
+	}
+	return a
 }
 
 // Attach sets the transport after construction (the in-process hub needs
@@ -227,6 +251,7 @@ func (a *Agent) Stats() Stats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	st := a.stats
+	st.Decisions = a.kernel.Counts()
 	st.Neighbors = make(map[string]time.Time, len(a.neighbors))
 	for k, v := range a.neighbors {
 		st.Neighbors[k] = v
@@ -254,17 +279,20 @@ func (a *Agent) ID() int { return a.cfg.ID }
 
 // Inject submits a locally originated packet to the network: the paper's
 // step where Alice's device hands the message to the AP it associates with.
-// The injecting AP always transmits.
+// The injecting AP always transmits (the kernel's first-hop rule).
 func (a *Agent) Inject(pkt *packet.Packet) error {
 	frame, err := pkt.Encode(nil)
 	if err != nil {
 		return fmt.Errorf("agent %d: inject: %w", a.cfg.ID, err)
 	}
+	v := a.kernel.Decide(a.view, &pkt.Header, a.self, true)
 	a.mu.Lock()
 	a.seen.insert(pkt.Header.MsgID)
 	a.stats.Rebroadcast++
 	a.mu.Unlock()
-	a.maybeDeliver(pkt)
+	if v.Deliver {
+		a.deliver(pkt)
+	}
 	tr := a.transport()
 	if tr == nil {
 		return fmt.Errorf("agent %d: no transport", a.cfg.ID)
@@ -352,20 +380,24 @@ func (a *Agent) HandleFrameFrom(src string, frame []byte) {
 	}
 	a.mu.Unlock()
 
-	a.maybeDeliver(pkt)
-
-	if pkt.Header.TTL <= 1 {
+	// The deliver/forward verdict is the shared kernel's — the identical
+	// code path the simulator's CityMesh policy evaluates — so what the
+	// experiments measure is byte-for-byte what this agent executes.
+	v := a.kernel.Decide(a.view, &pkt.Header, a.self, false)
+	if v.Deliver {
+		a.deliver(pkt)
+	}
+	if !v.Rebroadcast {
+		if v.Reason == fwd.ReasonOutOfConduit {
+			a.mu.Lock()
+			a.stats.OutOfConduit++
+			a.mu.Unlock()
+		}
 		return
 	}
-	if !a.insideConduit(pkt) {
-		a.mu.Lock()
-		a.stats.OutOfConduit++
-		a.mu.Unlock()
-		return
-	}
-	fwd := pkt.Clone()
-	fwd.Header.TTL--
-	out, err := fwd.Encode(nil)
+	next := pkt.Clone()
+	next.Header.TTL--
+	out, err := next.Encode(nil)
 	if err != nil {
 		return
 	}
@@ -404,15 +436,16 @@ func (a *Agent) noteNeighborLocked(key string, now time.Time) {
 	a.neighbors[key] = now
 }
 
-// maybeDeliver stores the payload if the packet is addressed to this
-// agent's building.
-func (a *Agent) maybeDeliver(pkt *packet.Packet) {
-	if a.cfg.Building < 0 || pkt.Header.Dst() != a.cfg.Building {
-		return
-	}
+// deliver hands a kernel-approved packet to the local application: the
+// callback fires for every delivery (destination building or geocast
+// area), while postbox storage additionally requires that the packet is
+// addressed to this agent's building.
+func (a *Agent) deliver(pkt *packet.Packet) {
 	a.mu.Lock()
 	cb := a.onDeliver
-	if pkt.Header.Flags&packet.FlagPostbox != 0 {
+	if pkt.Header.Flags&packet.FlagPostbox != 0 &&
+		a.cfg.Building >= 0 && len(pkt.Header.Waypoints) > 0 &&
+		pkt.Header.Dst() == a.cfg.Building {
 		var addr postbox.Address
 		copy(addr[:], pkt.Header.Postbox[:])
 		urgent := pkt.Header.Flags&packet.FlagUrgent != 0
@@ -425,27 +458,6 @@ func (a *Agent) maybeDeliver(pkt *packet.Packet) {
 	if cb != nil {
 		cb(pkt)
 	}
-}
-
-// insideConduit evaluates the paper's stateless rebroadcast predicate: the
-// agent's building must fall within a conduit (all APs of an in-conduit
-// building rebroadcast, §4); relay agents outside any building use their
-// own position.
-func (a *Agent) insideConduit(pkt *packet.Packet) bool {
-	wps := make([]int, len(pkt.Header.Waypoints))
-	for i, w := range pkt.Header.Waypoints {
-		wps[i] = int(w)
-	}
-	r := conduit.Route{Waypoints: wps, Width: pkt.Header.WidthMeters()}
-	cs, err := r.Conduits(a.cfg.City)
-	if err != nil {
-		return false
-	}
-	pos := a.cfg.Pos
-	if b := a.cfg.Building; b >= 0 && b < a.cfg.City.NumBuildings() {
-		pos = a.cfg.City.Buildings[b].Centroid
-	}
-	return conduit.Contains(cs, pos)
 }
 
 // Close stops beacons and shuts the transport down. The postbox store is

@@ -14,6 +14,7 @@ import (
 type Hub struct {
 	agents []*Agent
 	adj    [][]int32
+	failed map[int]bool
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -29,10 +30,24 @@ type delivery struct {
 	frame []byte
 }
 
+// HubConfig tunes hub construction beyond the defaults of NewHub.
+type HubConfig struct {
+	// Failed marks AP ids whose radios are dead for the whole run: a
+	// failed AP neither receives nor (therefore) rebroadcasts anything,
+	// mirroring the simulator's static Config.FailedAPs set so parity
+	// runs can drive the same fault injection through both worlds.
+	Failed map[int]bool
+}
+
 // NewHub builds one agent per AP in the mesh and connects them. Callers
 // retrieve agents with Agent(i) (indexed by AP id).
 func NewHub(m *mesh.Mesh, city *osm.City) *Hub {
-	h := &Hub{adj: m.Adjacency()}
+	return NewHubWithConfig(m, city, HubConfig{})
+}
+
+// NewHubWithConfig is NewHub with explicit options.
+func NewHubWithConfig(m *mesh.Mesh, city *osm.City, cfg HubConfig) *Hub {
+	h := &Hub{adj: m.Adjacency(), failed: cfg.Failed}
 	h.cond = sync.NewCond(&h.mu)
 	h.idle = sync.NewCond(&h.mu)
 	h.agents = make([]*Agent, m.NumAPs())
@@ -118,6 +133,9 @@ func (t *hubTransport) Broadcast(frame []byte) error {
 		return nil
 	}
 	for _, n := range h.adj[t.id] {
+		if h.failed[int(n)] {
+			continue
+		}
 		// Copy per receiver: agents may retain payload slices.
 		f := append([]byte(nil), frame...)
 		h.queue = append(h.queue, delivery{to: int(n), frame: f})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"citymesh/internal/core"
+	"citymesh/internal/fwd"
 	"citymesh/internal/geo"
 	"citymesh/internal/packet"
 	"citymesh/internal/routing"
@@ -14,6 +15,11 @@ import (
 // (§1's "geospatial messaging"): the packet first rides a conduit toward
 // the building nearest the target area's center, then floods within the
 // target disc so every AP (and postbox) in the area hears it.
+//
+// The disc-then-conduit rule itself lives in the shared forwarding kernel
+// (internal/fwd), which evaluates the geocast branch for every
+// FlagGeocast packet — so this policy is the plain CityMesh adapter under
+// a distinct name, kept so transcripts and tables can label geocast runs.
 type GeocastPolicy struct {
 	inner sim.Policy
 }
@@ -28,13 +34,16 @@ func (*GeocastPolicy) Name() string { return "geocast" }
 
 // OnReceive implements sim.Policy.
 func (g *GeocastPolicy) OnReceive(ctx *sim.Context, ap int, pkt *packet.Packet, from int) sim.Decision {
-	if pkt.Header.Flags&packet.FlagGeocast != 0 {
-		center := geo.Pt(float64(pkt.Header.Target.CenterX), float64(pkt.Header.Target.CenterY))
-		if ctx.Mesh.APs[ap].Pos.Dist(center) <= float64(pkt.Header.Target.Radius) {
-			return sim.Decision{Rebroadcast: true}
-		}
-	}
 	return g.inner.OnReceive(ctx, ap, pkt, from)
+}
+
+// DecisionCounts implements sim.DecisionCounter by delegating to the
+// kernel-backed inner policy.
+func (g *GeocastPolicy) DecisionCounts() fwd.Counts {
+	if dc, ok := g.inner.(sim.DecisionCounter); ok {
+		return dc.DecisionCounts()
+	}
+	return fwd.Counts{}
 }
 
 // GeocastResult summarizes one geocast.

@@ -99,9 +99,26 @@ func coversIntermediate(city *osm.City, route []int, start, end int, width float
 	return true
 }
 
+// Map is the minimal building-map view conduit reconstruction consumes: a
+// dense building count and per-building centroids. *osm.City satisfies it
+// directly; the forwarding kernel's MapView (internal/fwd) is the same
+// contract, so sim APs and live agents reconstruct conduits from exactly
+// the same inputs.
+type Map interface {
+	NumBuildings() int
+	Centroid(b int) geo.Point
+}
+
 // Conduits reconstructs the conduit rectangles for the route using the
 // building map, exactly as each AP does on packet reception (§3 step 3).
 func (r Route) Conduits(city *osm.City) ([]geo.OrientedRect, error) {
+	return r.ConduitsOn(city)
+}
+
+// ConduitsOn is Conduits over the abstract map view, so callers that hold
+// only the kernel's MapView contract (not a concrete *osm.City) can
+// reconstruct the same rectangles.
+func (r Route) ConduitsOn(m Map) ([]geo.OrientedRect, error) {
 	if len(r.Waypoints) == 0 {
 		return nil, fmt.Errorf("conduit: route has no waypoints")
 	}
@@ -109,20 +126,21 @@ func (r Route) Conduits(city *osm.City) ([]geo.OrientedRect, error) {
 	if w <= 0 {
 		w = DefaultWidth
 	}
+	nb := m.NumBuildings()
 	for _, b := range r.Waypoints {
-		if b < 0 || b >= len(city.Buildings) {
+		if b < 0 || b >= nb {
 			return nil, fmt.Errorf("conduit: waypoint building %d unknown", b)
 		}
 	}
 	if len(r.Waypoints) == 1 {
-		c := city.Buildings[r.Waypoints[0]].Centroid
+		c := m.Centroid(r.Waypoints[0])
 		return []geo.OrientedRect{{A: c, B: c, HalfWidth: w, EndCap: w}}, nil
 	}
 	out := make([]geo.OrientedRect, 0, len(r.Waypoints)-1)
 	for i := 0; i+1 < len(r.Waypoints); i++ {
 		out = append(out, geo.OrientedRect{
-			A:         city.Buildings[r.Waypoints[i]].Centroid,
-			B:         city.Buildings[r.Waypoints[i+1]].Centroid,
+			A:         m.Centroid(r.Waypoints[i]),
+			B:         m.Centroid(r.Waypoints[i+1]),
 			HalfWidth: w,
 			EndCap:    w,
 		})
@@ -133,14 +151,74 @@ func (r Route) Conduits(city *osm.City) ([]geo.OrientedRect, error) {
 // Contains reports whether point p falls inside any of the route's
 // conduits. This is the rebroadcast predicate an AP evaluates. The conduits
 // slice should come from Conduits; splitting the calls lets an AP
-// reconstruct once per packet and test cheaply.
+// reconstruct once per packet and test cheaply. Each rectangle is guarded
+// by a bounding-box prefilter (MayContain) so far-away points are rejected
+// without the oriented-rect projection math.
 func Contains(conduits []geo.OrientedRect, p geo.Point) bool {
 	for _, o := range conduits {
-		if o.Contains(p) {
+		if o.MayContain(p) && o.Contains(p) {
 			return true
 		}
 	}
 	return false
+}
+
+// Region is a conduit set prepared for repeated containment tests — the
+// form the forwarding kernel caches per message. Each oriented rectangle
+// is paired with its precomputed axis-aligned bounding box, and the union
+// box rejects far-away points with four comparisons before any per-rect
+// work. A Region is immutable after construction and safe for concurrent
+// Contains calls.
+type Region struct {
+	rects  []geo.OrientedRect
+	bounds []geo.Rect
+	outer  geo.Rect
+}
+
+// NewRegion precomputes the prefilter geometry for a conduit set. The
+// rects slice is retained; callers must not mutate it afterwards.
+func NewRegion(rects []geo.OrientedRect) *Region {
+	r := &Region{rects: rects, bounds: make([]geo.Rect, len(rects))}
+	for i, o := range rects {
+		r.bounds[i] = o.Bounds()
+		if i == 0 {
+			r.outer = r.bounds[0]
+		} else {
+			r.outer = r.outer.Union(r.bounds[i])
+		}
+	}
+	return r
+}
+
+// Contains reports whether p falls inside any conduit of the region. A nil
+// or empty region contains nothing.
+func (r *Region) Contains(p geo.Point) bool {
+	if r == nil || len(r.rects) == 0 || !r.outer.Contains(p) {
+		return false
+	}
+	for i := range r.rects {
+		if r.bounds[i].Contains(p) && r.rects[i].Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of conduit rectangles in the region.
+func (r *Region) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.rects)
+}
+
+// Rects exposes the underlying conduit rectangles (read-only; rendering
+// and diagnostics).
+func (r *Region) Rects() []geo.OrientedRect {
+	if r == nil {
+		return nil
+	}
+	return r.rects
 }
 
 // Src returns the source building index of the route.

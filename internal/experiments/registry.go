@@ -221,6 +221,13 @@ func Registry() []Experiment {
 			}
 			return textCSV{text: RadioText(rows), csv: RadioCSV(rows)}, nil
 		}},
+		expFunc{"parity", func(cfg RunConfig) (Result, error) {
+			results, err := Parity()
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: ParityText(results), csv: ParityCSV(results)}, nil
+		}},
 		expFunc{"geocast", func(cfg RunConfig) (Result, error) {
 			cfg = cfg.withDefaults()
 			rows, err := GeocastSweep(cfg.City, cfg.Scale, cfg.Seed, nil, cfg.Pairs, cfg.Parallelism)

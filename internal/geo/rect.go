@@ -131,5 +131,26 @@ func (o OrientedRect) Bounds() Rect {
 	return RectFromPoints(o.A, o.B).Pad(pad)
 }
 
+// MayContain is a conservative prefilter for Contains: it tests p against
+// the axis-aligned box around the segment padded by HalfWidth+EndCap on
+// every side — a superset of the oriented rectangle — using only
+// comparisons and additions, no square roots. A false result means
+// Contains(p) is certainly false; a true result means "run the full test".
+func (o OrientedRect) MayContain(p Point) bool {
+	pad := o.HalfWidth + o.EndCap
+	minX, maxX := o.A.X, o.B.X
+	if minX > maxX {
+		minX, maxX = maxX, minX
+	}
+	if p.X < minX-pad || p.X > maxX+pad {
+		return false
+	}
+	minY, maxY := o.A.Y, o.B.Y
+	if minY > maxY {
+		minY, maxY = maxY, minY
+	}
+	return p.Y >= minY-pad && p.Y <= maxY+pad
+}
+
 // Length returns the axis length of the oriented rectangle (without caps).
 func (o OrientedRect) Length() float64 { return o.A.Dist(o.B) }

@@ -76,6 +76,13 @@ func (c *City) BuildingByOSMID(id ID) (int, bool) {
 // NumBuildings returns the number of buildings in the city.
 func (c *City) NumBuildings() int { return len(c.Buildings) }
 
+// Centroid returns the centroid of the building with dense index b. With
+// NumBuildings it makes *City satisfy the map-view contract the forwarding
+// kernel (internal/fwd) and conduit reconstruction consume: an AP's
+// rebroadcast decision needs nothing from the map beyond building count
+// and centroids.
+func (c *City) Centroid(b int) geo.Point { return c.Buildings[b].Centroid }
+
 // classify returns the feature kind for a way's tag set, and whether the
 // way describes a feature CityMesh cares about.
 func classify(t Tags) (FeatureKind, bool) {

@@ -7,10 +7,8 @@ package routing
 
 import (
 	"math"
-	"sync"
 
-	"citymesh/internal/conduit"
-	"citymesh/internal/geo"
+	"citymesh/internal/fwd"
 	"citymesh/internal/packet"
 	"citymesh/internal/sim"
 )
@@ -24,14 +22,18 @@ import (
 // building test their own position instead. The AP consults nothing but
 // its copy of the building map and the header — no routing tables, no
 // neighbor state.
+//
+// The decision itself lives in the shared forwarding kernel
+// (internal/fwd), the same code path the live AP agent executes; this
+// type is a thin sim.Policy adapter plus the kernel's bounded per-message
+// conduit cache.
 type CityMesh struct {
-	mu    sync.Mutex
-	cache map[uint64][]geo.OrientedRect // conduits per message ID
+	k *fwd.Kernel
 }
 
 // NewCityMesh returns the conduit policy.
 func NewCityMesh() *CityMesh {
-	return &CityMesh{cache: make(map[uint64][]geo.OrientedRect)}
+	return &CityMesh{k: fwd.NewKernel(fwd.Options{})}
 }
 
 // Name implements sim.Policy.
@@ -39,43 +41,21 @@ func (c *CityMesh) Name() string { return "citymesh" }
 
 // OnReceive implements sim.Policy.
 func (c *CityMesh) OnReceive(ctx *sim.Context, ap int, pkt *packet.Packet, from int) sim.Decision {
-	if from < 0 {
-		// Initial injection: the AP Alice's device submitted to always
-		// transmits (§3 step 3 — she "submits the message to CityMesh's
-		// network"), even if it sits at the edge of the first conduit.
-		return sim.Decision{Rebroadcast: true}
+	ttl := ctx.TTL
+	if ttl <= 0 {
+		// Direct caller that didn't thread the as-received TTL: trust the
+		// header (the engine always sets ctx.TTL).
+		ttl = int(pkt.Header.TTL)
 	}
-	cs := c.conduits(ctx, pkt)
-	if cs == nil {
-		return sim.Decision{}
-	}
-	pos := ctx.Mesh.APs[ap].Pos
-	if b := ctx.Mesh.APs[ap].Building; b >= 0 && b < ctx.City.NumBuildings() {
-		pos = ctx.City.Buildings[b].Centroid
-	}
-	return sim.Decision{Rebroadcast: conduit.Contains(cs, pos)}
+	a := ctx.Mesh.APs[ap]
+	v := c.k.DecideTTL(ctx.City, &pkt.Header, ttl,
+		fwd.Self{Pos: a.Pos, Building: a.Building}, from < 0)
+	return sim.Decision{Rebroadcast: v.Rebroadcast}
 }
 
-// conduits reconstructs (or fetches the per-message cached) conduit set,
-// exactly the computation each AP performs once per new packet.
-func (c *CityMesh) conduits(ctx *sim.Context, pkt *packet.Packet) []geo.OrientedRect {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cs, ok := c.cache[pkt.Header.MsgID]; ok {
-		return cs
-	}
-	wps := make([]int, len(pkt.Header.Waypoints))
-	for i, w := range pkt.Header.Waypoints {
-		wps[i] = int(w)
-	}
-	r := conduit.Route{Waypoints: wps, Width: pkt.Header.WidthMeters()}
-	cs, err := r.Conduits(ctx.City)
-	if err != nil {
-		cs = nil
-	}
-	c.cache[pkt.Header.MsgID] = cs
-	return cs
-}
+// DecisionCounts implements sim.DecisionCounter: cumulative kernel
+// decision totals since this policy was created.
+func (c *CityMesh) DecisionCounts() fwd.Counts { return c.k.Counts() }
 
 // Flood is blind flooding: every AP rebroadcasts every new packet until the
 // TTL expires. It is the delivery-probability upper bound and the overhead

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"citymesh/internal/fwd"
 	"citymesh/internal/geo"
 	"citymesh/internal/mesh"
 	"citymesh/internal/osm"
@@ -39,6 +40,13 @@ type Context struct {
 	RNG  *rand.Rand
 	// Dst is the destination building index of the current packet.
 	Dst int
+	// TTL is the header TTL as the receiving AP would read it off the
+	// wire for the current OnReceive call. The engine tracks remaining TTL
+	// per AP instead of rewriting the shared packet, so the header's own
+	// TTL field stays at the injected value; kernel-backed policies
+	// consult this instead. 0 means "not set" (a direct test call) — fall
+	// back to the packet header.
+	TTL int
 }
 
 // Policy decides forwarding at each AP. OnReceive runs exactly once per
@@ -48,6 +56,15 @@ type Policy interface {
 	// OnReceive is called when AP ap first receives pkt from AP from
 	// (from == -1 for the initial injection at the source).
 	OnReceive(ctx *Context, ap int, pkt *packet.Packet, from int) Decision
+}
+
+// DecisionCounter is implemented by policies backed by the shared
+// forwarding kernel (internal/fwd). Run snapshots the counts before and
+// after the simulation and records the delta in Result.Decisions, so a
+// transcript explains not just who forwarded but why. The delta is exact
+// when the policy instance is not shared across concurrent runs.
+type DecisionCounter interface {
+	DecisionCounts() fwd.Counts
 }
 
 // FailureSchedule is a time-varying AP failure model (see internal/faults):
@@ -145,6 +162,10 @@ type Result struct {
 	Transcript []APRecord
 	// SourceAP is the AP that injected the packet.
 	SourceAP int
+	// Decisions is the forwarding kernel's per-reason decision tally for
+	// this run, populated when the policy implements DecisionCounter
+	// (CityMesh does); zero for kernel-less baselines.
+	Decisions fwd.Counts
 
 	// Per-attempt loss diagnostics: why frames that were transmitted never
 	// became receptions. Together they explain a failed delivery — a run
@@ -227,6 +248,14 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	ctx := &Context{City: city, Mesh: m, RNG: rng, Dst: pkt.Header.Dst()}
+
+	// Kernel-backed policies expose decision counters; snapshot before and
+	// after so Result.Decisions covers exactly this run.
+	dc, hasDC := pol.(DecisionCounter)
+	var dcBefore fwd.Counts
+	if hasDC {
+		dcBefore = dc.DecisionCounts()
+	}
 
 	// down folds the static failure set and the time-varying schedule.
 	down := func(ap int, t float64) bool {
@@ -312,6 +341,13 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		if ttl[ap] <= 0 {
 			return
 		}
+		// Hand the policy the TTL a live AP would read off the wire: the
+		// sender decrements before transmitting, except the injection AP,
+		// which broadcasts the original header unchanged.
+		ctx.TTL = ttl[ap]
+		if from >= 0 {
+			ctx.TTL++
+		}
 		d := pol.OnReceive(ctx, ap, pkt, from)
 		if d.Rebroadcast {
 			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
@@ -385,6 +421,9 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		case evReceive:
 			deliver(e.ap, e.peer, e.t)
 		}
+	}
+	if hasDC {
+		res.Decisions = dc.DecisionCounts().Sub(dcBefore)
 	}
 	return res
 }
