@@ -23,7 +23,12 @@ import (
 	"runtime"
 	"testing"
 
+	"citymesh/internal/citygen"
+	"citymesh/internal/core"
 	"citymesh/internal/experiments"
+	"citymesh/internal/geo"
+	"citymesh/internal/sim"
+	"citymesh/internal/trafficgen"
 )
 
 // benchRunConfig is the reduced-scale setting every registry benchmark
@@ -121,6 +126,9 @@ type benchEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Speedup     float64 `json:"speedup_vs_serial"`
+	// AdmissionRejectRate is the session layer's rejection fraction at the
+	// entry's fixed offered load (trafficgen entry only).
+	AdmissionRejectRate float64 `json:"admission_rejection_rate,omitempty"`
 }
 
 // benchReport is the whole BENCH_sim.json document.
@@ -191,6 +199,32 @@ func TestWriteBenchJSON(t *testing.T) {
 		})
 	}
 
+	// trafficgen: the closed-loop user-traffic generator at a fixed 4x
+	// flash-crowd load on a small healthy mesh. The rejection rate is the
+	// session layer's admission behavior at that load — deterministic, so
+	// one extra run outside the timer pins it exactly.
+	n, tcfg := benchTrafficSetup(t)
+	tg := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trafficgen.Run(n, sim.DefaultConfig(), tcfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep, err := trafficgen.Run(n, sim.DefaultConfig(), tcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "trafficgen", Parallelism: 1,
+		NsPerOp:             tg.NsPerOp(),
+		AllocsPerOp:         tg.AllocsPerOp(),
+		BytesPerOp:          tg.AllocedBytesPerOp(),
+		Speedup:             1,
+		AdmissionRejectRate: rep.RejectRate(),
+	})
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -200,4 +234,25 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_sim.json (%d cores, gomaxprocs %d)", report.Cores, report.GoMaxProcs)
+}
+
+// benchTrafficSetup builds the small fixed-load scenario the trafficgen
+// bench entry measures: a shrunk featureless gridtown and a 4x flash crowd.
+func benchTrafficSetup(t *testing.T) (*core.Network, trafficgen.Config) {
+	spec, ok := citygen.Preset("gridtown")
+	if !ok {
+		t.Fatal("gridtown preset missing")
+	}
+	spec.Width, spec.Height = 260, 260
+	spec.Rivers, spec.Parks, spec.Highways = nil, nil, nil
+	spec.DowntownRect, spec.CampusRect = geo.Rect{}, geo.Rect{}
+	n, err := core.FromSpec(spec, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, trafficgen.Config{
+		Users: 40, APs: 6, Ticks: 24,
+		FlashMultiplier: 4,
+		Seed:            1,
+	}
 }

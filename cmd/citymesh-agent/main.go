@@ -27,6 +27,11 @@
 //   - -hello controls the liveness beacon period; -neighbor-rate and
 //     -inbound-budget bound what a hostile or faulty peer can make this
 //     agent do.
+//   - -session-listen opens a second UDP socket speaking the user-session
+//     protocol (internal/session): phones attach, submit under token-bucket
+//     and proof-of-work admission, and fetch from the AP's postbox store.
+//     A drain loop forwards queued messages onto the mesh at -session-drain
+//     messages per second.
 package main
 
 import (
@@ -46,6 +51,7 @@ import (
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
 	"citymesh/internal/postbox"
+	"citymesh/internal/session"
 )
 
 func main() {
@@ -61,6 +67,9 @@ func main() {
 		nbrRate   = flag.Float64("neighbor-rate", agent.DefaultNeighborRate, "per-neighbor inbound frames/sec (negative: unlimited)")
 		budget    = flag.Float64("inbound-budget", 4<<20, "global inbound byte budget, bytes/sec (0: unlimited)")
 		cacheCap  = flag.Int("conduit-cache", 0, "conduit-region cache capacity in messages (0: default, negative: disable)")
+
+		sessListen = flag.String("session-listen", "", "UDP address for the user-session protocol (empty: disabled; requires -building)")
+		sessDrain  = flag.Int("session-drain", 4, "session queue drain rate, messages/sec")
 	)
 	flag.Parse()
 
@@ -148,6 +157,27 @@ func main() {
 	}
 
 	start := time.Now()
+
+	// User-session endpoint: a second socket for phones on this AP's
+	// Wi-Fi, sharing the agent's postbox store so packet-path deliveries
+	// and session fetches see the same boxes.
+	var svc *session.Service
+	var sessConn net.PacketConn
+	sessStop := make(chan struct{})
+	if *sessListen != "" {
+		if *buildingF < 0 {
+			fail(fmt.Errorf("-session-listen requires -building"))
+		}
+		svc = session.New(session.Config{Building: *buildingF, Store: a.Store()})
+		sessConn, err = net.ListenPacket("udp", *sessListen)
+		if err != nil {
+			fail(fmt.Errorf("session-listen: %w", err))
+		}
+		fmt.Printf("citymesh-agent: session endpoint on %s (drain %d msg/s)\n",
+			sessConn.LocalAddr(), *sessDrain)
+		go sessionLoop(sessConn, svc, start)
+		go sessionDrain(svc, &liveForwarder{netw: netw, a: a, src: *buildingF}, *sessDrain, start, sessStop)
+	}
 	if *send != "" {
 		// Any failure along the send path — planning, encoding, or the
 		// socket writes — is a hard error with a non-zero exit, never a
@@ -189,6 +219,10 @@ func main() {
 		case <-term:
 			// Graceful drain: stop beaconing and receiving, then make
 			// postbox state durable before exiting.
+			if sessConn != nil {
+				close(sessStop)
+				sessConn.Close()
+			}
 			if err := a.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "citymesh-agent: close:", err)
 			}
@@ -197,7 +231,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, "citymesh-agent: state sync:", err)
 				}
 			}
-			dumpStatus(a, tr, store, start)
+			dumpStatus(a, tr, store, svc, start)
 			if store != nil {
 				if err := store.Close(); err != nil {
 					fmt.Fprintln(os.Stderr, "citymesh-agent: state close:", err)
@@ -206,7 +240,7 @@ func main() {
 			fmt.Println("citymesh-agent: drained, exiting")
 			return
 		case <-usr1:
-			dumpStatus(a, tr, store, start)
+			dumpStatus(a, tr, store, svc, start)
 		case <-tick:
 			st := a.Stats()
 			fmt.Printf("stats: rx=%d dup=%d fwd=%d stored=%d dropped=%d (malformed=%d oversized=%d ratelimited=%d) neighbors=%d\n",
@@ -249,7 +283,7 @@ func parseNeighbors(s string) ([]*net.UDPAddr, error) {
 }
 
 // dumpStatus prints the full operational picture (SIGUSR1 and final drain).
-func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, start time.Time) {
+func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, svc *session.Service, start time.Time) {
 	st := a.Stats()
 	fmt.Printf("--- status (uptime %v) ---\n", time.Since(start).Round(time.Second))
 	fmt.Printf("frames: received=%d duplicates=%d rebroadcast=%d out-of-conduit=%d stored=%d\n",
@@ -276,7 +310,79 @@ func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, st
 		fmt.Printf("postbox: dir=%s boxes=%d messages=%d log-bytes=%d\n",
 			store.Dir(), boxes, msgs, store.LogBytes())
 	}
+	if svc != nil {
+		ss := svc.Stats()
+		fmt.Printf("session: offered=%d accepted=%d delivered=%d queued=%d fetched=%d acked=%d\n",
+			ss.Offered, ss.Accepted, ss.Delivered, ss.Queued, ss.Fetched, ss.Acked)
+		fmt.Printf("session-rejects: admission=%d rate-limit=%d buffer-full=%d network-exhausted=%d malformed=%d\n",
+			ss.RejectedAdmission, ss.RejectedRateLimit, ss.RejectedBufferFull,
+			ss.DroppedNetworkExhausted, ss.Malformed)
+	}
 	fmt.Println("--- end status ---")
+}
+
+// sessionLoop serves the user-session protocol on a dedicated socket:
+// one datagram in, one reply datagram out. All admission decisions live in
+// the Service; this loop only moves bytes. It exits when the socket is
+// closed during graceful drain.
+func sessionLoop(conn net.PacketConn, svc *session.Service, start time.Time) {
+	buf := make([]byte, session.MaxSessionFrame+1)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return // socket closed: drain in progress
+		}
+		reply := svc.Handle(buf[:n], time.Since(start).Seconds())
+		if reply != nil {
+			conn.WriteTo(reply, from)
+		}
+	}
+}
+
+// sessionDrain forwards queued session messages onto the mesh at a bounded
+// rate — the knob that keeps a flash crowd from monopolizing the radio.
+func sessionDrain(svc *session.Service, fwd session.Forwarder, perSec int, start time.Time, stop <-chan struct{}) {
+	if perSec <= 0 {
+		perSec = 1
+	}
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			svc.Drain(time.Since(start).Seconds(), perSec, fwd)
+		}
+	}
+}
+
+// liveForwarder carries drained session messages onto the live mesh: plan
+// a conduit route, stamp the postbox address, and inject as if locally
+// sent. The live path is fire-and-forget — UDP transmission is
+// asynchronous, so Delivered reports that the message was handed to the
+// mesh, and the recipient's fetch/ack loop is the real acknowledgment.
+type liveForwarder struct {
+	netw *core.Network
+	a    *agent.Agent
+	src  int
+}
+
+func (f *liveForwarder) Forward(m *session.Pending, now float64) session.Outcome {
+	route, err := f.netw.PlanRoute(f.src, m.Dst)
+	if err != nil {
+		return session.Outcome{}
+	}
+	pkt, err := f.netw.NewPacket(route, m.Payload)
+	if err != nil {
+		return session.Outcome{}
+	}
+	pkt.Header.Flags |= packet.FlagPostbox
+	pkt.Header.Postbox = m.To
+	if err := f.a.Inject(pkt); err != nil {
+		return session.Outcome{}
+	}
+	return session.Outcome{Delivered: true, Broadcasts: 1}
 }
 
 // cityPos picks the agent's position: the building centroid, or the map

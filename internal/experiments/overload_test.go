@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"citymesh/internal/session"
+)
+
+// The overload sweep joins the byte-identical-at-any-parallelism
+// guarantee: cells are runner tasks with SplitMix64 seeds, folded in index
+// order.
+func TestOverloadParallelMatchesSerial(t *testing.T) {
+	run := func(par int) ([]OverloadRow, error) {
+		return Overload(OverloadConfig{
+			Scale:       0.3,
+			FailFracs:   []float64{0.3},
+			Loads:       []float64{1, 4},
+			Users:       30,
+			Ticks:       20,
+			Seed:        1,
+			Parallelism: par,
+		})
+	}
+	serial, err := run(1)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	parallel, err := run(8)
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if got, want := OverloadText(parallel), OverloadText(serial); got != want {
+		t.Errorf("Text() differs between par=1 and par=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+	if got, want := OverloadCSV(parallel), OverloadCSV(serial); got != want {
+		t.Errorf("CSV() differs between par=1 and par=8:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// The acceptance shape of the experiment: under a 4x flash crowd on a 30%
+// AP failure, the session layer degrades gracefully — accepted-message p99
+// latency stays bounded by the queue discipline (it cannot exceed the run
+// duration, and the queue bound pins the wait component), and every
+// offered message is attributed to exactly one outcome.
+func TestOverloadGracefulDegradationAt4x30(t *testing.T) {
+	rows, err := Overload(OverloadConfig{
+		FailFracs: []float64{0.3},
+		Loads:     []float64{4},
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if err := r.AccountingError(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Offered == 0 || r.Delivered == 0 {
+		t.Fatalf("no traffic delivered under overload: %+v", r)
+	}
+	duration := float64(r.Ticks)
+	if r.LatencyP99 <= 0 || r.LatencyP99 >= duration {
+		t.Fatalf("p99 latency %v not in (0, %v): degradation is not graceful", r.LatencyP99, duration)
+	}
+	if r.PeakTier < session.TierCongested {
+		t.Fatalf("admission never tightened under 4x flash crowd: peak tier %v", r.PeakTier)
+	}
+	rejected := r.RejectedAdmission + r.RejectedRateLimit + r.RejectedBufferFull
+	if rejected == 0 {
+		t.Fatalf("overload produced no rejections: %+v", r)
+	}
+	if r.Residual != 0 {
+		t.Fatalf("unattributed residual messages: %+v", r)
+	}
+}
+
+func TestOverloadRenderers(t *testing.T) {
+	rows := []OverloadRow{{City: "x", Mode: "disk", FailFrac: 0.3, Load: 4}}
+	rows[0].Offered = 10
+	rows[0].Accepted = 8
+	rows[0].Delivered = 7
+	rows[0].DroppedNetworkExhausted = 1
+	rows[0].RejectedAdmission = 2
+	text := OverloadText(rows)
+	if !strings.Contains(text, "x") || !strings.Contains(text, "4x") {
+		t.Fatalf("text table missing cells:\n%s", text)
+	}
+	csv := OverloadCSV(rows)
+	if !strings.HasPrefix(csv, "city,mode,load,fail_frac") || !strings.Contains(csv, "x,disk,4.00,0.30") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}

@@ -228,6 +228,29 @@ func Registry() []Experiment {
 			}
 			return textCSV{text: ParityText(results), csv: ParityCSV(results)}, nil
 		}},
+		expFunc{"overload", func(cfg RunConfig) (Result, error) {
+			cfg = cfg.withDefaults()
+			oc := DefaultOverloadConfig()
+			if len(cfg.Cities) > 0 {
+				oc.City = cfg.Cities[0]
+			} else if cfg.City != "boston" {
+				oc.City = cfg.City
+			}
+			oc.Seed = cfg.Seed
+			if cfg.Scale > 0 {
+				oc.Scale = cfg.Scale
+			}
+			oc.Parallelism = cfg.Parallelism
+			if cfg.Pairs > 0 {
+				// The shared -pairs knob sizes the user population here.
+				oc.Users = cfg.Pairs
+			}
+			rows, err := Overload(oc)
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: OverloadText(rows), csv: OverloadCSV(rows)}, nil
+		}},
 		expFunc{"geocast", func(cfg RunConfig) (Result, error) {
 			cfg = cfg.withDefaults()
 			rows, err := GeocastSweep(cfg.City, cfg.Scale, cfg.Seed, nil, cfg.Pairs, cfg.Parallelism)

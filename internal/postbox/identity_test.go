@@ -1,0 +1,37 @@
+package postbox
+
+import "testing"
+
+func TestDecodePublicIdentityRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 32, 63, 65, 128} {
+		if _, err := DecodePublicIdentity(make([]byte, n)); err == nil {
+			t.Errorf("%d-byte input: want error, got nil", n)
+		}
+	}
+}
+
+func TestSignVerifySig(t *testing.T) {
+	id := mustIdentity(t)
+	other := mustIdentity(t)
+	msg := []byte("retrieve postbox after seq 42")
+	sig := id.Sign(msg)
+	if !id.Public().VerifySig(msg, sig) {
+		t.Error("valid signature rejected")
+	}
+	if id.Public().VerifySig([]byte("different message"), sig) {
+		t.Error("signature verified against a different message")
+	}
+	if other.Public().VerifySig(msg, sig) {
+		t.Error("signature verified under the wrong key")
+	}
+}
+
+func TestIdentityAddressMatchesPublic(t *testing.T) {
+	id := mustIdentity(t)
+	if id.Address() != id.Public().Address() {
+		t.Error("Identity.Address disagrees with PublicIdentity.Address")
+	}
+	if id.Address() == (Address{}) {
+		t.Error("address is all zeros")
+	}
+}

@@ -1,0 +1,122 @@
+package postbox
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestSealOverheadFixed(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	for _, n := range []int{0, 1, 100} {
+		sealed, err := Seal(rand.Reader, alice, bob.Public(), make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(sealed), n+sealOverhead; got != want {
+			t.Errorf("%d-byte plaintext: sealed length %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSealOpenEmptyPlaintext(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	sealed, err := Seal(rand.Reader, alice, bob.Public(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, sender, err := Open(bob, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty plaintext round-tripped to %q", got)
+	}
+	if sender.Address() != alice.Address() {
+		t.Error("sender identity lost on empty plaintext")
+	}
+}
+
+func TestOpenTamperedEveryByte(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	sealed, err := Seal(rand.Reader, alice, bob.Public(), []byte("integrity matters"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit at every position — ephemeral key, nonce, ciphertext,
+	// tag. Every variant must fail closed with ErrDecrypt, never a wrong
+	// plaintext or a signature error that leaks which layer broke first.
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x01
+		if _, _, err := Open(bob, tampered); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("bit flip at byte %d: got %v, want ErrDecrypt", i, err)
+		}
+	}
+}
+
+func TestOpenTruncatedBoundaries(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	sealed, err := Seal(rand.Reader, alice, bob.Public(), []byte("short me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, ephKeyLen, ephKeyLen + nonceLen, sealOverhead - 1, len(sealed) - 1} {
+		if _, _, err := Open(bob, sealed[:n]); !errors.Is(err, ErrDecrypt) {
+			t.Errorf("truncated to %d bytes: got %v, want ErrDecrypt", n, err)
+		}
+	}
+}
+
+// sealWithBadSig replicates Seal's layout but signs the wrong bytes, so the
+// AEAD opens cleanly and only the inner signature check can catch the
+// forgery.
+func sealWithBadSig(t *testing.T, sender *Identity, recipient PublicIdentity, plaintext []byte) []byte {
+	t.Helper()
+	eph, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := eph.ECDH(recipient.DHPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcptAddr := recipient.Address()
+	key := deriveKey(shared, eph.PublicKey().Bytes(), recipient.DHPub.Bytes())
+
+	var nonce [nonceLen]byte
+	if _, err := io.ReadFull(rand.Reader, nonce[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	sig := ed25519.Sign(sender.signKey, []byte("not the transcript Seal signs"))
+	inner := make([]byte, 0, 64+sigLen+len(plaintext))
+	inner = append(inner, sender.Public().Encode()...)
+	inner = append(inner, sig...)
+	inner = append(inner, plaintext...)
+
+	aead, err := newGCM(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 0, ephKeyLen+nonceLen+len(inner)+16)
+	out = append(out, eph.PublicKey().Bytes()...)
+	out = append(out, nonce[:]...)
+	return aead.Seal(out, nonce[:], inner, associatedData(eph.PublicKey().Bytes(), rcptAddr))
+}
+
+func TestOpenBadInnerSignature(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	sealed := sealWithBadSig(t, alice, bob.Public(), []byte("forged"))
+	if _, _, err := Open(bob, sealed); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("bad inner signature: got %v, want ErrBadSignature", err)
+	}
+}

@@ -1,0 +1,91 @@
+package session
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/bits"
+
+	"citymesh/internal/postbox"
+)
+
+// Hashcash-style admission proof. When an AP is congested it demands that
+// each submitted message carry a nonce such that a hash over the message's
+// stable fields has a minimum number of leading zero bits. The work is
+// client-side and stateless for the AP: verification is one hash, so a
+// flash crowd pays for admission with its own CPU rather than the AP's
+// queue space, and the difficulty knob turns smoothly with queue depth.
+
+// powPrefix domain-separates the session proof-of-work from every other
+// hash in the system.
+const powPrefix = "citymesh-session-pow-v1"
+
+// MaxPowBits bounds the difficulty an AP may demand. 24 bits is ~16M
+// expected hashes — seconds of phone CPU — beyond which admission is
+// effectively closed and the AP should reject outright instead.
+const MaxPowBits = 24
+
+// powHash computes the proof hash for one (client, recipient, payload,
+// nonce) tuple.
+func powHash(clientID uint64, to postbox.Address, payload []byte, nonce uint64) [32]byte {
+	var idb, nb [8]byte
+	binary.BigEndian.PutUint64(idb[:], clientID)
+	binary.BigEndian.PutUint64(nb[:], nonce)
+	payloadDigest := sha256.Sum256(payload)
+	h := sha256.New()
+	h.Write([]byte(powPrefix))
+	h.Write(idb[:])
+	h.Write(to[:])
+	h.Write(payloadDigest[:])
+	h.Write(nb[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// leadingZeroBits counts the leading zero bits of a hash.
+func leadingZeroBits(h [32]byte) int {
+	n := 0
+	for _, b := range h {
+		if b == 0 {
+			n += 8
+			continue
+		}
+		return n + bits.LeadingZeros8(b)
+	}
+	return n
+}
+
+// CheckPoW reports whether nonce is a valid proof of work for the message
+// at the given difficulty. Difficulty <= 0 always passes (the normal tier
+// demands no work).
+func CheckPoW(clientID uint64, to postbox.Address, payload []byte, nonce uint64, difficulty int) bool {
+	if difficulty <= 0 {
+		return true
+	}
+	if difficulty > MaxPowBits {
+		difficulty = MaxPowBits
+	}
+	return leadingZeroBits(powHash(clientID, to, payload, nonce)) >= difficulty
+}
+
+// SolvePoW searches nonces from 0 upward for a valid proof, trying at most
+// maxTries hashes (maxTries <= 0 uses 1<<(difficulty+6), far above the
+// 2^difficulty expectation). It reports the nonce and whether one was found.
+// The search is deterministic: the same inputs always yield the same nonce.
+func SolvePoW(clientID uint64, to postbox.Address, payload []byte, difficulty int, maxTries uint64) (uint64, bool) {
+	if difficulty <= 0 {
+		return 0, true
+	}
+	if difficulty > MaxPowBits {
+		difficulty = MaxPowBits
+	}
+	if maxTries == 0 {
+		maxTries = 1 << (uint(difficulty) + 6)
+	}
+	for nonce := uint64(0); nonce < maxTries; nonce++ {
+		if leadingZeroBits(powHash(clientID, to, payload, nonce)) >= difficulty {
+			return nonce, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,66 @@
+package session
+
+import "testing"
+
+func TestPowZeroDifficultyAlwaysPasses(t *testing.T) {
+	if !CheckPoW(1, addr(1), []byte("m"), 0, 0) {
+		t.Fatal("difficulty 0 must pass with nonce 0")
+	}
+	if !CheckPoW(1, addr(1), []byte("m"), 12345, -3) {
+		t.Fatal("negative difficulty must pass")
+	}
+}
+
+func TestPowSolveAndCheck(t *testing.T) {
+	payload := []byte("emergency: meet at the library")
+	to := addr(0x42)
+	for _, bits := range []int{1, 4, 8, 12} {
+		nonce, ok := SolvePoW(77, to, payload, bits, 0)
+		if !ok {
+			t.Fatalf("bits=%d: no solution found", bits)
+		}
+		if !CheckPoW(77, to, payload, nonce, bits) {
+			t.Fatalf("bits=%d: solved nonce %d fails check", bits, nonce)
+		}
+		// The proof must commit to the client, recipient, and payload.
+		if CheckPoW(78, to, payload, nonce, bits) && CheckPoW(77, addr(0x43), payload, nonce, bits) &&
+			CheckPoW(77, to, []byte("tampered"), nonce, bits) {
+			t.Fatalf("bits=%d: nonce %d valid for all altered inputs — proof not binding", bits, nonce)
+		}
+	}
+}
+
+func TestPowSolveDeterministic(t *testing.T) {
+	n1, ok1 := SolvePoW(9, addr(9), []byte("p"), 10, 0)
+	n2, ok2 := SolvePoW(9, addr(9), []byte("p"), 10, 0)
+	if !ok1 || !ok2 || n1 != n2 {
+		t.Fatalf("SolvePoW not deterministic: (%d,%v) vs (%d,%v)", n1, ok1, n2, ok2)
+	}
+}
+
+func TestPowSolveRespectsMaxTries(t *testing.T) {
+	// One try at a hard difficulty essentially never solves.
+	if _, ok := SolvePoW(1, addr(1), []byte("x"), 24, 1); ok {
+		t.Skip("1-in-16M lottery hit; ignore")
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	var h [32]byte
+	if got := leadingZeroBits(h); got != 256 {
+		t.Fatalf("all-zero hash: got %d, want 256", got)
+	}
+	h[0] = 0x01
+	if got := leadingZeroBits(h); got != 7 {
+		t.Fatalf("0x01 first byte: got %d, want 7", got)
+	}
+	h[0] = 0x80
+	if got := leadingZeroBits(h); got != 0 {
+		t.Fatalf("0x80 first byte: got %d, want 0", got)
+	}
+	h[0] = 0x00
+	h[1] = 0x10
+	if got := leadingZeroBits(h); got != 11 {
+		t.Fatalf("0x0010 prefix: got %d, want 11", got)
+	}
+}

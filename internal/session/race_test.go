@@ -1,0 +1,92 @@
+package session
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSessionsOneAP hammers a single AP service from many client
+// goroutines while a drain loop runs, mirroring a live agent's layout
+// (frame handler and drain ticker on separate goroutines). Run under
+// -race in CI; the accounting invariant must survive the interleaving.
+func TestConcurrentSessionsOneAP(t *testing.T) {
+	s := New(Config{
+		Building:   0,
+		QueueCap:   64,
+		SendBufCap: 8,
+		// Generous bucket so contention, not rate limiting, dominates.
+		ClientRate: 1000, ClientBurst: 1000,
+	})
+	const (
+		clients   = 16
+		perClient = 200
+	)
+
+	// Drain loop: alternates between a live and a dead network so both
+	// delivered and network-exhausted paths race with submissions.
+	stop := make(chan struct{})
+	var drainWG sync.WaitGroup
+	drainWG.Add(1)
+	go func() {
+		defer drainWG.Done()
+		fwd := &sinkForwarder{deliver: true}
+		now := 0.0
+		for {
+			select {
+			case <-stop:
+				for s.QueueLen() > 0 {
+					s.Drain(now, 64, fwd)
+					now++
+				}
+				return
+			default:
+				fwd.deliver = !fwd.deliver
+				s.Drain(now, 8, fwd)
+				now++
+			}
+		}
+	}()
+
+	var clientWG sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		clientWG.Add(1)
+		go func(id uint64) {
+			defer clientWG.Done()
+			a := addr(byte(id))
+			frame, err := EncodeMsg(Msg{Type: TAttach, ClientID: id, Addr: a})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.Handle(frame, 0)
+			for i := 0; i < perClient; i++ {
+				now := float64(i)
+				switch i % 4 {
+				case 0, 1:
+					sub, _ := EncodeMsg(Msg{Type: TSubmit, ClientID: id, Dst: int(id % 3), To: a, Payload: []byte("stress")})
+					s.Handle(sub, now)
+				case 2:
+					f, _ := EncodeMsg(Msg{Type: TFetch, ClientID: id})
+					s.Handle(f, now)
+				case 3:
+					ack, _ := EncodeMsg(Msg{Type: TAck, ClientID: id, UpToSeq: 1 << 62})
+					s.Handle(ack, now)
+				}
+			}
+		}(uint64(c + 1))
+	}
+	clientWG.Wait()
+	close(stop)
+	drainWG.Wait()
+
+	st := s.Stats()
+	if st.Queued != 0 {
+		t.Fatalf("queue not flushed: %+v", st)
+	}
+	if err := st.AccountingError(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 || st.Accepted == 0 || st.Delivered == 0 {
+		t.Fatalf("no traffic flowed: %+v", st)
+	}
+}

@@ -1,0 +1,395 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"citymesh/internal/packet"
+	"citymesh/internal/postbox"
+)
+
+// Session wire format.
+//
+// Clients (phones on an AP's Wi-Fi) speak a tiny request/reply protocol to
+// their attached AP. Like the inter-AP packet format, the decode path is an
+// untrusted-input boundary: every frame arrives from an arbitrary radio
+// client, so frames carry a magic byte, a version, a CRC-32 trailer, and
+// explicit byte budgets, and decoding rejects anything out of bounds with a
+// typed sentinel error (match with errors.Is).
+//
+// Frame envelope: magic(1) | version(1) | type(1) | body | crc32(4, IEEE,
+// over everything before it).
+
+const (
+	// Magic distinguishes session frames from inter-AP packets (0xC9) and
+	// discovery hellos (0xCA) on a shared socket.
+	Magic = 0xCB
+	// Version is the current session wire version.
+	Version = 1
+)
+
+// Request types (client → AP).
+const (
+	// TAttach opens (or refreshes) a session: clientID + postbox address.
+	TAttach = 0x01
+	// TSubmit offers one message for store-and-forward delivery.
+	TSubmit = 0x02
+	// TFetch asks for stored messages after a sequence number.
+	TFetch = 0x03
+	// TAck acknowledges delivery up to a sequence number, freeing the
+	// receive window.
+	TAck = 0x04
+)
+
+// Reply types (AP → client).
+const (
+	// TAccept reports a successful attach or submit, plus current
+	// backpressure advice (tier, required PoW bits, queue headroom).
+	TAccept = 0x81
+	// TReject reports a refused submit or attach with its cause and the
+	// advice needed to retry (tier, required PoW bits, backoff hint).
+	TReject = 0x82
+	// TDeliver carries a batch of stored messages in response to TFetch.
+	TDeliver = 0x83
+	// TAckOK confirms an ack and reports how many messages remain stored.
+	TAckOK = 0x84
+)
+
+// Byte budgets for the session decode path.
+const (
+	// MaxSessionFrame bounds a whole session frame; it matches the UDP
+	// datagram cap used by the inter-AP transport.
+	MaxSessionFrame = packet.MaxFrameLen
+	// MaxSessionPayload bounds one user message; user traffic rides the
+	// same low-bandwidth substrate as inter-AP payloads.
+	MaxSessionPayload = packet.MaxPayloadLen
+	// MaxDeliverBatch bounds the number of messages in one TDeliver reply.
+	MaxDeliverBatch = 64
+
+	envelopeLen = 3 // magic + version + type
+	crcLen      = 4
+)
+
+// Typed decode errors for the session wire.
+var (
+	ErrFrameTooLarge   = errors.New("session: frame exceeds MaxSessionFrame")
+	ErrTruncated       = errors.New("session: truncated frame")
+	ErrBadMagic        = errors.New("session: bad magic")
+	ErrBadVersion      = errors.New("session: unsupported version")
+	ErrBadType         = errors.New("session: unknown frame type")
+	ErrBadCRC          = errors.New("session: CRC mismatch")
+	ErrPayloadTooLarge = errors.New("session: payload exceeds MaxSessionPayload")
+	ErrBatchTooLarge   = errors.New("session: deliver batch exceeds MaxDeliverBatch")
+	ErrTrailingBytes   = errors.New("session: trailing bytes after body")
+)
+
+// Msg is a decoded client→AP request. Fields beyond Type and ClientID are
+// populated per type: Addr for TAttach; Dst/To/PowNonce/Payload for TSubmit;
+// AfterSeq for TFetch; UpToSeq for TAck.
+type Msg struct {
+	Type     byte
+	ClientID uint64
+	Addr     postbox.Address // TAttach: client's postbox address
+	Dst      int             // TSubmit: destination building index
+	To       postbox.Address // TSubmit: recipient postbox address
+	PowNonce uint64          // TSubmit: hashcash nonce (0 when tier demands none)
+	Payload  []byte          // TSubmit: opaque (normally sealed) message bytes
+	AfterSeq uint64          // TFetch: return stored messages with seq > AfterSeq
+	UpToSeq  uint64          // TAck: acknowledge stored messages with seq <= UpToSeq
+}
+
+// DeliverMsg is one stored message inside a TDeliver reply.
+type DeliverMsg struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Reply is a decoded AP→client reply. Tier/PowBits/Headroom accompany
+// TAccept and TReject (the explicit backpressure channel); Cause and
+// RetryAfterMs are set on TReject; Msgs on TDeliver; Remaining on TAckOK.
+type Reply struct {
+	Type         byte
+	Tier         Tier
+	PowBits      uint8
+	Cause        Cause
+	Headroom     uint32 // TAccept: free slots left in the AP queue
+	RetryAfterMs uint32 // TReject: advisory client backoff
+	Msgs         []DeliverMsg
+	Remaining    uint32 // TAckOK: messages still stored for this client
+}
+
+func appendEnvelope(dst []byte, typ byte) []byte {
+	return append(dst, Magic, Version, typ)
+}
+
+func sealFrame(dst []byte) []byte {
+	crc := crc32.ChecksumIEEE(dst)
+	return append(dst, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+}
+
+// openFrame validates the envelope and CRC and returns (type, body).
+func openFrame(frame []byte) (byte, []byte, error) {
+	if len(frame) > MaxSessionFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if len(frame) < envelopeLen+crcLen {
+		return 0, nil, ErrTruncated
+	}
+	if frame[0] != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if frame[1] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	body := frame[:len(frame)-crcLen]
+	tail := frame[len(frame)-crcLen:]
+	want := uint32(tail[0])<<24 | uint32(tail[1])<<16 | uint32(tail[2])<<8 | uint32(tail[3])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, ErrBadCRC
+	}
+	return frame[2], body[envelopeLen:], nil
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func takeU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	return v, b[8:], nil
+}
+
+func takeAddr(b []byte) (postbox.Address, []byte, error) {
+	var a postbox.Address
+	if len(b) < postbox.AddressLen {
+		return a, nil, ErrTruncated
+	}
+	copy(a[:], b[:postbox.AddressLen])
+	return a, b[postbox.AddressLen:], nil
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n, err := packet.Uvarint(b)
+	if err != nil {
+		return 0, nil, ErrTruncated
+	}
+	return v, b[n:], nil
+}
+
+// EncodeMsg serializes a client→AP request.
+func EncodeMsg(m Msg) ([]byte, error) {
+	out := appendEnvelope(make([]byte, 0, envelopeLen+32+len(m.Payload)), m.Type)
+	out = appendU64(out, m.ClientID)
+	switch m.Type {
+	case TAttach:
+		out = append(out, m.Addr[:]...)
+	case TSubmit:
+		if len(m.Payload) > MaxSessionPayload {
+			return nil, ErrPayloadTooLarge
+		}
+		if m.Dst < 0 {
+			return nil, fmt.Errorf("session: negative destination building %d", m.Dst)
+		}
+		out = packet.AppendUvarint(out, uint64(m.Dst))
+		out = append(out, m.To[:]...)
+		out = appendU64(out, m.PowNonce)
+		out = packet.AppendUvarint(out, uint64(len(m.Payload)))
+		out = append(out, m.Payload...)
+	case TFetch:
+		out = packet.AppendUvarint(out, m.AfterSeq)
+	case TAck:
+		out = packet.AppendUvarint(out, m.UpToSeq)
+	default:
+		return nil, ErrBadType
+	}
+	frame := sealFrame(out)
+	if len(frame) > MaxSessionFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return frame, nil
+}
+
+// DecodeMsg parses a client→AP request frame.
+func DecodeMsg(frame []byte) (Msg, error) {
+	typ, body, err := openFrame(frame)
+	if err != nil {
+		return Msg{}, err
+	}
+	var m Msg
+	m.Type = typ
+	if m.ClientID, body, err = takeU64(body); err != nil {
+		return Msg{}, err
+	}
+	switch typ {
+	case TAttach:
+		if m.Addr, body, err = takeAddr(body); err != nil {
+			return Msg{}, err
+		}
+	case TSubmit:
+		var dst uint64
+		if dst, body, err = takeUvarint(body); err != nil {
+			return Msg{}, err
+		}
+		if dst > 1<<31 {
+			return Msg{}, fmt.Errorf("session: destination building %d out of range: %w", dst, ErrBadType)
+		}
+		m.Dst = int(dst)
+		if m.To, body, err = takeAddr(body); err != nil {
+			return Msg{}, err
+		}
+		if m.PowNonce, body, err = takeU64(body); err != nil {
+			return Msg{}, err
+		}
+		var plen uint64
+		if plen, body, err = takeUvarint(body); err != nil {
+			return Msg{}, err
+		}
+		if plen > MaxSessionPayload {
+			return Msg{}, ErrPayloadTooLarge
+		}
+		if uint64(len(body)) < plen {
+			return Msg{}, ErrTruncated
+		}
+		m.Payload = append([]byte(nil), body[:plen]...)
+		body = body[plen:]
+	case TFetch:
+		if m.AfterSeq, body, err = takeUvarint(body); err != nil {
+			return Msg{}, err
+		}
+	case TAck:
+		if m.UpToSeq, body, err = takeUvarint(body); err != nil {
+			return Msg{}, err
+		}
+	default:
+		return Msg{}, ErrBadType
+	}
+	if len(body) != 0 {
+		return Msg{}, ErrTrailingBytes
+	}
+	return m, nil
+}
+
+// EncodeReply serializes an AP→client reply.
+func EncodeReply(r Reply) ([]byte, error) {
+	out := appendEnvelope(make([]byte, 0, 64), r.Type)
+	switch r.Type {
+	case TAccept:
+		out = append(out, byte(r.Tier), r.PowBits)
+		out = packet.AppendUvarint(out, uint64(r.Headroom))
+	case TReject:
+		out = append(out, byte(r.Cause), byte(r.Tier), r.PowBits)
+		out = packet.AppendUvarint(out, uint64(r.RetryAfterMs))
+	case TDeliver:
+		if len(r.Msgs) > MaxDeliverBatch {
+			return nil, ErrBatchTooLarge
+		}
+		out = packet.AppendUvarint(out, uint64(len(r.Msgs)))
+		for _, dm := range r.Msgs {
+			if len(dm.Payload) > MaxSessionPayload {
+				return nil, ErrPayloadTooLarge
+			}
+			out = packet.AppendUvarint(out, dm.Seq)
+			out = packet.AppendUvarint(out, uint64(len(dm.Payload)))
+			out = append(out, dm.Payload...)
+		}
+	case TAckOK:
+		out = packet.AppendUvarint(out, uint64(r.Remaining))
+	default:
+		return nil, ErrBadType
+	}
+	frame := sealFrame(out)
+	if len(frame) > MaxSessionFrame {
+		return nil, ErrFrameTooLarge
+	}
+	return frame, nil
+}
+
+// DecodeReply parses an AP→client reply frame.
+func DecodeReply(frame []byte) (Reply, error) {
+	typ, body, err := openFrame(frame)
+	if err != nil {
+		return Reply{}, err
+	}
+	var r Reply
+	r.Type = typ
+	switch typ {
+	case TAccept:
+		if len(body) < 2 {
+			return Reply{}, ErrTruncated
+		}
+		r.Tier, r.PowBits = Tier(body[0]), body[1]
+		body = body[2:]
+		var h uint64
+		if h, body, err = takeUvarint(body); err != nil {
+			return Reply{}, err
+		}
+		if h > 1<<31 {
+			return Reply{}, ErrTruncated
+		}
+		r.Headroom = uint32(h)
+	case TReject:
+		if len(body) < 3 {
+			return Reply{}, ErrTruncated
+		}
+		r.Cause, r.Tier, r.PowBits = Cause(body[0]), Tier(body[1]), body[2]
+		body = body[3:]
+		var ra uint64
+		if ra, body, err = takeUvarint(body); err != nil {
+			return Reply{}, err
+		}
+		if ra > 1<<31 {
+			return Reply{}, ErrTruncated
+		}
+		r.RetryAfterMs = uint32(ra)
+	case TDeliver:
+		var count uint64
+		if count, body, err = takeUvarint(body); err != nil {
+			return Reply{}, err
+		}
+		if count > MaxDeliverBatch {
+			return Reply{}, ErrBatchTooLarge
+		}
+		r.Msgs = make([]DeliverMsg, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var dm DeliverMsg
+			if dm.Seq, body, err = takeUvarint(body); err != nil {
+				return Reply{}, err
+			}
+			var plen uint64
+			if plen, body, err = takeUvarint(body); err != nil {
+				return Reply{}, err
+			}
+			if plen > MaxSessionPayload {
+				return Reply{}, ErrPayloadTooLarge
+			}
+			if uint64(len(body)) < plen {
+				return Reply{}, ErrTruncated
+			}
+			dm.Payload = append([]byte(nil), body[:plen]...)
+			body = body[plen:]
+			r.Msgs = append(r.Msgs, dm)
+		}
+	case TAckOK:
+		var rem uint64
+		if rem, body, err = takeUvarint(body); err != nil {
+			return Reply{}, err
+		}
+		if rem > 1<<31 {
+			return Reply{}, ErrTruncated
+		}
+		r.Remaining = uint32(rem)
+	default:
+		return Reply{}, ErrBadType
+	}
+	if len(body) != 0 {
+		return Reply{}, ErrTrailingBytes
+	}
+	return r, nil
+}

@@ -1,0 +1,142 @@
+package session
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"citymesh/internal/postbox"
+)
+
+func addr(b byte) postbox.Address {
+	var a postbox.Address
+	for i := range a {
+		a[i] = b
+	}
+	return a
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	msgs := []Msg{
+		{Type: TAttach, ClientID: 42, Addr: addr(0xAA)},
+		{Type: TSubmit, ClientID: 7, Dst: 123, To: addr(0xBB), PowNonce: 999, Payload: []byte("hello mesh")},
+		{Type: TSubmit, ClientID: 7, Dst: 0, To: addr(0x00), PowNonce: 0, Payload: nil},
+		{Type: TFetch, ClientID: 1 << 60, AfterSeq: 77},
+		{Type: TAck, ClientID: 3, UpToSeq: 1 << 40},
+	}
+	for _, want := range msgs {
+		frame, err := EncodeMsg(want)
+		if err != nil {
+			t.Fatalf("encode %#x: %v", want.Type, err)
+		}
+		got, err := DecodeMsg(frame)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.ClientID != want.ClientID ||
+			got.Addr != want.Addr || got.Dst != want.Dst || got.To != want.To ||
+			got.PowNonce != want.PowNonce || got.AfterSeq != want.AfterSeq ||
+			got.UpToSeq != want.UpToSeq || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	replies := []Reply{
+		{Type: TAccept, Tier: TierCongested, PowBits: 8, Headroom: 512},
+		{Type: TReject, Cause: CauseRateLimit, Tier: TierOverload, PowBits: 12, RetryAfterMs: 4000},
+		{Type: TDeliver, Msgs: []DeliverMsg{{Seq: 1, Payload: []byte("a")}, {Seq: 9, Payload: []byte("bb")}}},
+		{Type: TDeliver},
+		{Type: TAckOK, Remaining: 5},
+	}
+	for _, want := range replies {
+		frame, err := EncodeReply(want)
+		if err != nil {
+			t.Fatalf("encode %#x: %v", want.Type, err)
+		}
+		got, err := DecodeReply(frame)
+		if err != nil {
+			t.Fatalf("decode %#x: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Tier != want.Tier || got.PowBits != want.PowBits ||
+			got.Cause != want.Cause || got.Headroom != want.Headroom ||
+			got.RetryAfterMs != want.RetryAfterMs || got.Remaining != want.Remaining ||
+			len(got.Msgs) != len(want.Msgs) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+		for i := range want.Msgs {
+			if got.Msgs[i].Seq != want.Msgs[i].Seq || !bytes.Equal(got.Msgs[i].Payload, want.Msgs[i].Payload) {
+				t.Fatalf("deliver msg %d mismatch: got %+v want %+v", i, got.Msgs[i], want.Msgs[i])
+			}
+		}
+	}
+}
+
+func TestDecodeMsgRejections(t *testing.T) {
+	good, err := EncodeMsg(Msg{Type: TSubmit, ClientID: 1, Dst: 5, To: addr(1), Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", good[:5], ErrTruncated},
+		{"bad magic", append([]byte{0xC9}, good[1:]...), ErrBadMagic},
+		{"bad version", func() []byte {
+			f := append([]byte(nil), good...)
+			f[1] = 99
+			return f
+		}(), ErrBadVersion},
+		{"bad crc", func() []byte {
+			f := append([]byte(nil), good...)
+			f[len(f)-1] ^= 0xFF
+			return f
+		}(), ErrBadCRC},
+		{"flipped body byte", func() []byte {
+			f := append([]byte(nil), good...)
+			f[10] ^= 0x01
+			return f
+		}(), ErrBadCRC},
+		{"oversize frame", make([]byte, MaxSessionFrame+1), ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeMsg(tc.frame); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeMsgUnknownType(t *testing.T) {
+	frame := sealFrame(appendU64(appendEnvelope(nil, 0x7F), 1))
+	if _, err := DecodeMsg(frame); !errors.Is(err, ErrBadType) {
+		t.Fatalf("got %v, want ErrBadType", err)
+	}
+}
+
+func TestDecodeMsgTrailingBytes(t *testing.T) {
+	body := appendU64(appendEnvelope(nil, TFetch), 1)
+	body = append(body, 0x00)       // AfterSeq = 0
+	body = append(body, 0xDE, 0xAD) // junk after the body
+	frame := sealFrame(body)
+	if _, err := DecodeMsg(frame); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("got %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestEncodeMsgPayloadBudget(t *testing.T) {
+	m := Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: make([]byte, MaxSessionPayload+1)}
+	if _, err := EncodeMsg(m); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("got %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestEncodeReplyBatchBudget(t *testing.T) {
+	r := Reply{Type: TDeliver, Msgs: make([]DeliverMsg, MaxDeliverBatch+1)}
+	if _, err := EncodeReply(r); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("got %v, want ErrBatchTooLarge", err)
+	}
+}
