@@ -119,10 +119,21 @@ func (n *Network) SendEventually(src, dst int, payload []byte, simCfg sim.Config
 	t := 0.0
 	backoff := ecfg.BackoffBase
 	consecExhausted := 0
+	baseMobiles := simCfg.Mobiles
 	for attempt := 0; attempt < ecfg.MaxAttempts; attempt++ {
 		cfg := simCfg
 		if baseSchedule != nil && t > 0 {
 			cfg.Schedule = sim.OffsetSchedule{Base: baseSchedule, Offset: t}
+		}
+		if len(baseMobiles) > 0 && t > 0 {
+			// Shift every carrier's clock the same way the failure schedule
+			// is shifted: a re-attempt at global time t must find the bus
+			// where its route has taken it by now, not back at the depot.
+			cfg.Mobiles = make([]sim.Mobile, len(baseMobiles))
+			for i, mb := range baseMobiles {
+				mb.Path = sim.OffsetPath{Base: mb.Path, Offset: t}
+				cfg.Mobiles[i] = mb
+			}
 		}
 		// Distinct deterministic seeds per attempt: retries must see fresh
 		// loss/jitter realizations, not replay the first failure.
@@ -140,6 +151,15 @@ func (n *Network) SendEventually(src, dst int, payload []byte, simCfg sim.Config
 		if rr.Delivered {
 			out.Delivered = true
 			out.TimeToHeal = t
+			// The winning attempt's in-run delivery instant counts too: a
+			// mule delivery ends seconds-to-minutes into its run, not at
+			// the run's first transmission.
+			for i := len(rr.Attempts) - 1; i >= 0; i-- {
+				if rr.Attempts[i].Delivered {
+					out.TimeToHeal += rr.Attempts[i].DeliveryTime
+					break
+				}
+			}
 			if out.Parked {
 				out.HealedFromPark = true
 				n.ParkedStore().Ack(BuildingAddress(dst), parked.Seq)

@@ -6,6 +6,7 @@ import (
 
 	"citymesh/internal/faults"
 	"citymesh/internal/geo"
+	"citymesh/internal/mobility"
 	"citymesh/internal/sim"
 )
 
@@ -181,5 +182,80 @@ func TestSendEventuallyDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a.Attempts != b.Attempts || a.TimeToHeal != b.TimeToHeal || a.TotalBroadcasts != b.TotalBroadcasts {
 		t.Fatalf("non-deterministic store-and-heal:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestSendEventuallyMuleBridgesPartition: two buildings 300 m apart — no
+// static route exists and store-and-heal alone would strand the message
+// forever — but an evacuation walker carrying a radio from src to dst
+// picks the flood rung's packet up and mules it across within one run.
+func TestSendEventuallyMuleBridgesPartition(t *testing.T) {
+	city := gridCity(5, geo.Pt(0, 0), geo.Pt(300, 0))
+	cfg := DefaultConfig()
+	cfg.APDensity = 1e-12
+	n, err := NewNetwork(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := EventualConfig{MaxAttempts: 3, BackoffBase: 0.5, BackoffMax: 4, ParkAfter: 2}
+
+	// Baseline: no carrier, permanently parked.
+	base, err := n.SendEventually(0, 1, []byte("stranded"), sim.DefaultConfig(), DefaultReliableConfig(), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Delivered {
+		t.Fatalf("300 m gap delivered without a carrier: %+v", base)
+	}
+
+	walk, err := mobility.Line(geo.Pt(0, 0), geo.Pt(300, 0), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.DefaultConfig()
+	simCfg.Mobiles = []sim.Mobile{{Path: walk, HorizonS: 60}}
+	res, err := n.SendEventually(0, 1, []byte("mule me"), simCfg, DefaultReliableConfig(), ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatalf("walker never bridged the gap: %+v", res)
+	}
+	if res.Ladders[len(res.Ladders)-1].Rung != RungFlood {
+		t.Errorf("mule pickup requires the flood rung, delivered via %v", res.Ladders[len(res.Ladders)-1].Rung)
+	}
+}
+
+// clockProbePath records the latest absolute time it was queried at,
+// proving SendEventually shifts carrier clocks with OffsetPath on
+// re-attempts (each sim run restarts its own clock at zero).
+type clockProbePath struct{ maxT *float64 }
+
+func (p clockProbePath) PosAt(t float64) geo.Point {
+	if t > *p.maxT {
+		*p.maxT = t
+	}
+	return geo.Pt(1e6, 1e6) // far away: never participates
+}
+
+func TestSendEventuallyShiftsMobileClocks(t *testing.T) {
+	city := gridCity(5, geo.Pt(0, 0), geo.Pt(300, 0))
+	cfg := DefaultConfig()
+	cfg.APDensity = 1e-12
+	n, err := NewNetwork(city, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxT float64
+	simCfg := sim.DefaultConfig()
+	simCfg.Mobiles = []sim.Mobile{{Path: clockProbePath{maxT: &maxT}}}
+	ecfg := EventualConfig{MaxAttempts: 3, BackoffBase: 8, BackoffMax: 64, ParkAfter: 2}
+	if _, err := n.SendEventually(0, 1, nil, simCfg, DefaultReliableConfig(), ecfg); err != nil {
+		t.Fatal(err)
+	}
+	// Attempt 3 runs at global t >= 8+16 s; without the OffsetPath wrap the
+	// carrier would only ever see each run's own millisecond-scale clock.
+	if maxT < 8 {
+		t.Errorf("carrier clock never shifted past the first backoff: max query at t=%.3f", maxT)
 	}
 }

@@ -152,6 +152,11 @@ type ReliableAttempt struct {
 	Broadcasts int
 	// Delivered reports end-to-end success of this attempt.
 	Delivered bool
+	// DeliveryTime is the in-run simulation instant of delivery (0 when
+	// the attempt did not deliver). A plain broadcast wave delivers within
+	// milliseconds, but a flood overheard by a mobile carrier can deliver
+	// long after — the physical carry time shows up here.
+	DeliveryTime float64
 	// Err records a planning failure ("" when the attempt transmitted).
 	Err string
 }
@@ -252,10 +257,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 		c.Seed = simCfg.Seed + int64(i)*0x9e3779b9
 		return c
 	}
-	record := func(rung Rung, wait float64, broadcasts int, delivered bool, errStr string) {
+	record := func(rung Rung, wait float64, broadcasts int, delivered bool, deliveryTime float64, errStr string) {
 		out.Attempts = append(out.Attempts, ReliableAttempt{
 			Rung: rung, Backoff: wait, Broadcasts: broadcasts,
-			Delivered: delivered, Err: errStr,
+			Delivered: delivered, DeliveryTime: deliveryTime, Err: errStr,
 		})
 		out.TotalBroadcasts += broadcasts
 		out.TotalBackoff += wait
@@ -297,7 +302,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 					out.FirstAttempt.IdealTransmissions = ideal
 				}
 			}
-			record(rung, wait, res.Broadcasts, res.Delivered, "")
+			record(rung, wait, res.Broadcasts, res.Delivered, res.DeliveryTime, "")
 			// Feed back the uncompressed path: conduit compression strips
 			// the interior buildings a straight corridor traverses, and
 			// those are exactly where the evidence is.
@@ -307,7 +312,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			}
 		}
 	} else {
-		record(RungDirect, backoff(), 0, false, planErr.Error())
+		record(RungDirect, backoff(), 0, false, 0, planErr.Error())
 	}
 
 	// Rung 2: widen the conduit, recruiting rebroadcasters around the
@@ -321,16 +326,16 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			wait := backoff()
 			wide, err := conduit.Compress(n.City, path, n.Cfg.ConduitWidth*f)
 			if err != nil {
-				record(RungWiden, wait, 0, false, err.Error())
+				record(RungWiden, wait, 0, false, 0, err.Error())
 				continue
 			}
 			pkt, err := n.NewPacket(wide, payload)
 			if err != nil {
-				record(RungWiden, wait, 0, false, err.Error())
+				record(RungWiden, wait, 0, false, 0, err.Error())
 				continue
 			}
 			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
-			record(RungWiden, wait, res.Broadcasts, res.Delivered, "")
+			record(RungWiden, wait, res.Broadcasts, res.Delivered, res.DeliveryTime, "")
 			n.observeHealth(hm, path, res.Delivered)
 			if res.Delivered {
 				return out, nil
@@ -344,9 +349,15 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 		wait := backoff()
 		mp, err := n.MultipathSendPenalized(src, dst, payload, rcfg.MultipathK, attemptSim(len(out.Attempts)), vp)
 		if err != nil {
-			record(RungMultipath, wait, 0, false, err.Error())
+			record(RungMultipath, wait, 0, false, 0, err.Error())
 		} else {
-			record(RungMultipath, wait, mp.TotalBroadcasts, mp.Delivered, "")
+			mpTime := 0.0
+			for _, res := range mp.Results {
+				if res.Delivered && (mpTime == 0 || res.DeliveryTime < mpTime) {
+					mpTime = res.DeliveryTime
+				}
+			}
+			record(RungMultipath, wait, mp.TotalBroadcasts, mp.Delivered, mpTime, "")
 			// Feed back each copy's fate individually: the route that
 			// delivered is healthy evidence even when another copy died.
 			for i, res := range mp.Results {
@@ -389,7 +400,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			Payload: payload,
 		}
 		res := sim.Run(n.Mesh, n.City, routing.Flood{}, pkt, attemptSim(len(out.Attempts)))
-		record(RungFlood, wait, res.Broadcasts, res.Delivered, "")
+		record(RungFlood, wait, res.Broadcasts, res.Delivered, res.DeliveryTime, "")
 	}
 	if hm != nil && !out.Delivered {
 		// Even the scoped flood failed: the destination is a partition

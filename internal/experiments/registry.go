@@ -251,6 +251,40 @@ func Registry() []Experiment {
 			}
 			return textCSV{text: OverloadText(rows), csv: OverloadCSV(rows)}, nil
 		}},
+		expFunc{"datamule", func(cfg RunConfig) (Result, error) {
+			cfg = cfg.withDefaults()
+			dc := DataMuleConfig{
+				Scale: cfg.Scale, Seed: cfg.Seed,
+				Pairs: cfg.Pairs, Parallelism: cfg.Parallelism,
+			}
+			if len(cfg.Cities) > 0 {
+				dc.City = cfg.Cities[0]
+			} else if cfg.City != "boston" {
+				// The shared default ("boston") is not a river-split city;
+				// the experiment's own default ("dc") is.
+				dc.City = cfg.City
+			}
+			rows, err := DataMule(dc)
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: DataMuleText(rows), csv: DataMuleCSV(rows)}, nil
+		}},
+		expFunc{"floodfront", func(cfg RunConfig) (Result, error) {
+			cfg = cfg.withDefaults()
+			fc := FloodFrontStudyConfig{
+				City: cfg.City, Scale: cfg.Scale, Seed: cfg.Seed,
+				Pairs: cfg.Pairs, Parallelism: cfg.Parallelism,
+			}
+			if len(cfg.Cities) > 0 {
+				fc.City = cfg.Cities[0]
+			}
+			rows, err := FloodFrontStudy(fc)
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: FloodFrontText(rows), csv: FloodFrontCSV(rows)}, nil
+		}},
 		expFunc{"geocast", func(cfg RunConfig) (Result, error) {
 			cfg = cfg.withDefaults()
 			rows, err := GeocastSweep(cfg.City, cfg.Scale, cfg.Seed, nil, cfg.Pairs, cfg.Parallelism)

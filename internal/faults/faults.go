@@ -41,12 +41,19 @@ const (
 	ModeFlood Mode = "flood"
 	// ModeChurn gives every AP an independent Markov on/off schedule.
 	ModeChurn Mode = "churn"
+	// ModeFloodFront is a time-evolving flood: the waterline advances away
+	// from the mapped water at a configurable speed (see FloodFront).
+	ModeFloodFront Mode = "floodfront"
+	// ModeBlackout is a rolling district-by-district outage rotation (see
+	// RollingBlackout).
+	ModeBlackout Mode = "blackout"
 )
 
 // Modes lists the selectable injector names (for flag help).
 func Modes() []string {
 	return []string{string(ModeNone), string(ModeUniform), string(ModeDisk),
-		string(ModePolygon), string(ModeFlood), string(ModeChurn)}
+		string(ModePolygon), string(ModeFlood), string(ModeChurn),
+		string(ModeFloodFront), string(ModeBlackout)}
 }
 
 // Config parameterizes an injection.
@@ -70,6 +77,21 @@ type Config struct {
 	// Horizon bounds the churn schedule in seconds (default 60): beyond
 	// it each AP freezes in its final sampled state.
 	Horizon float64
+
+	// FrontSpeed is the ModeFloodFront waterline speed in m/s (default 2).
+	FrontSpeed float64
+	// FrontStart delays the dynamic fronts (floodfront, blackout) by this
+	// many seconds.
+	FrontStart float64
+	// FrontJitter is the ModeFloodFront per-AP submergence jitter bound in
+	// seconds.
+	FrontJitter float64
+	// Districts, OutageS, StaggerS and Repeat parameterize ModeBlackout
+	// (see BlackoutConfig; zero values take its defaults).
+	Districts int
+	OutageS   float64
+	StaggerS  float64
+	Repeat    bool
 }
 
 // DefaultChurnPeriod is the default mean up+down cycle length in seconds
@@ -123,6 +145,10 @@ func Inject(m *mesh.Mesh, city *osm.City, cfg Config) (Injection, error) {
 		return injectFlood(m, city, cfg)
 	case ModeChurn:
 		return injectChurn(m, cfg)
+	case ModeFloodFront:
+		return injectFloodFront(m, city, cfg)
+	case ModeBlackout:
+		return injectBlackout(m, city, cfg)
 	default:
 		return Injection{}, fmt.Errorf("faults: unknown mode %q (have %v)", cfg.Mode, Modes())
 	}

@@ -318,3 +318,40 @@ func TestReasonStrings(t *testing.T) {
 		t.Fatalf("out-of-range reason should stringify as unknown")
 	}
 }
+
+// TestKernelCacheUnderMovement: the conduit-region cache is keyed by
+// message ID and stores pure geometry — the mover's own position enters
+// per decision via Self. A node drifting across the conduit boundary (a
+// relay on a moving vehicle) must see its verdict flip at the boundary
+// while the cache neither grows nor goes stale.
+func TestKernelCacheUnderMovement(t *testing.T) {
+	view := lineCity(6)
+	k := NewKernel(Options{})
+	hdr := header(8, 0, 5)
+
+	// Walk a mobile relay from the conduit spine out to 1 km abeam and
+	// back, deciding the same message at every step.
+	var flips []Reason
+	prev := Reason(255)
+	for _, y := range []float64{0, 30, 120, 400, 1000, 400, 120, 30, 0} {
+		v := k.Decide(view, hdr, Self{Pos: geo.Pt(250, y), Building: -1}, false)
+		if v.Reason != ReasonInConduit && v.Reason != ReasonOutOfConduit {
+			t.Fatalf("y=%v: unexpected reason %v", y, v.Reason)
+		}
+		if v.Reason != prev {
+			flips = append(flips, v.Reason)
+			prev = v.Reason
+		}
+		if want := Decide(view, hdr, Self{Pos: geo.Pt(250, y), Building: -1}, false); v != want {
+			t.Fatalf("y=%v: cached verdict %+v diverges from pure %+v", y, v, want)
+		}
+	}
+	// On the spine it forwards; far abeam it suppresses; back on the spine
+	// it forwards again — three regimes, one cached region.
+	if len(flips) != 3 || flips[0] != ReasonInConduit || flips[1] != ReasonOutOfConduit || flips[2] != ReasonInConduit {
+		t.Fatalf("verdict regimes along the drive = %v, want in/out/in", flips)
+	}
+	if n := k.CacheLen(); n != 1 {
+		t.Fatalf("cache holds %d regions after one message's movement, want 1", n)
+	}
+}

@@ -1,0 +1,103 @@
+package session
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"citymesh/internal/postbox"
+)
+
+// Dedup window defaults. The window mirrors the relay daemon's
+// duplicate-suppression cache (internal/agent's dedupSet), adapted for the
+// session layer: the mesh dedups by message ID, but a phone that never saw
+// its TAccept reply resubmits the *same content* under a fresh submission —
+// so here the key is a content hash and entries expire, letting a user
+// legitimately send the identical text again later.
+const (
+	// DefaultDedupCap bounds the remembered submissions per AP.
+	DefaultDedupCap = 4096
+	// DefaultDedupWindowS is how long a resubmission counts as a duplicate,
+	// sized to outlast any client retry schedule (tier backoffs cap at
+	// seconds) with a wide margin.
+	DefaultDedupWindowS = 300.0
+)
+
+// submitKey fingerprints a submission's identity-relevant content: same
+// client, same recipient, same bytes → same message, however many times the
+// lossy mesh makes the client resend it.
+func submitKey(clientID uint64, dst int, to postbox.Address, payload []byte) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], clientID)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(int64(dst)))
+	h.Write(b[:])
+	h.Write(to[:])
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// dedupWindow is a FIFO-evicting content-hash set with per-entry
+// timestamps: a hit only counts as duplicate while its entry is younger
+// than the window. Eviction is FIFO over insertion order — the same
+// reasoning as the agent's dedup cache: a retry burst is short relative to
+// capacity, so FIFO behaves like LRU without per-hit bookkeeping.
+type dedupWindow struct {
+	cap     int
+	windowS float64
+	at      map[uint64]float64
+	ring    []uint64
+	next    int
+}
+
+func newDedupWindow(capacity int, windowS float64) *dedupWindow {
+	if capacity < 0 {
+		return nil // dedup disabled
+	}
+	if capacity == 0 {
+		capacity = DefaultDedupCap
+	}
+	if windowS <= 0 {
+		windowS = DefaultDedupWindowS
+	}
+	return &dedupWindow{
+		cap:     capacity,
+		windowS: windowS,
+		at:      make(map[uint64]float64, capacity),
+	}
+}
+
+// seen reports whether key was recorded within the window before now.
+func (d *dedupWindow) seen(key uint64, now float64) bool {
+	if d == nil {
+		return false
+	}
+	at, ok := d.at[key]
+	return ok && now-at < d.windowS
+}
+
+// record stamps key at now, evicting the oldest insertion at capacity.
+func (d *dedupWindow) record(key uint64, now float64) {
+	if d == nil {
+		return
+	}
+	if _, ok := d.at[key]; ok {
+		d.at[key] = now // refresh an expired (or racing) entry in place
+		return
+	}
+	if len(d.ring) < d.cap {
+		d.ring = append(d.ring, key)
+	} else {
+		delete(d.at, d.ring[d.next])
+		d.ring[d.next] = key
+		d.next = (d.next + 1) % d.cap
+	}
+	d.at[key] = now
+}
+
+func (d *dedupWindow) len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.at)
+}

@@ -59,6 +59,13 @@ type Config struct {
 	MaxSessions int
 	QueueCap    int
 
+	// DedupCap bounds the content-hash resubmission window (0 takes
+	// DefaultDedupCap, negative disables dedup); DedupWindowS is how long
+	// an accepted submission suppresses identical resends (0 takes
+	// DefaultDedupWindowS).
+	DedupCap     int
+	DedupWindowS float64
+
 	ClientRate  float64
 	ClientBurst float64
 
@@ -155,6 +162,10 @@ type Delivery struct {
 type Stats struct {
 	Offered  uint64
 	Accepted uint64
+	// Deduped counts resubmissions suppressed by the content-hash window:
+	// the client's original was already accepted, so the resend is answered
+	// with an idempotent TAccept and not queued again.
+	Deduped uint64
 	// Delivered counts messages that reached a postbox store (local or via
 	// a Forwarder).
 	Delivered               uint64
@@ -185,10 +196,10 @@ func (s Stats) AccountingError() error {
 		return fmt.Errorf("session: accepted %d != delivered %d + exhausted %d + queued %d",
 			s.Accepted, s.Delivered, s.DroppedNetworkExhausted, s.Queued)
 	}
-	sum := s.Accepted + s.RejectedAdmission + s.RejectedRateLimit + s.RejectedBufferFull
+	sum := s.Accepted + s.Deduped + s.RejectedAdmission + s.RejectedRateLimit + s.RejectedBufferFull
 	if s.Offered != sum {
-		return fmt.Errorf("session: offered %d != accepted %d + admission %d + rate %d + buffer %d",
-			s.Offered, s.Accepted, s.RejectedAdmission, s.RejectedRateLimit, s.RejectedBufferFull)
+		return fmt.Errorf("session: offered %d != accepted %d + deduped %d + admission %d + rate %d + buffer %d",
+			s.Offered, s.Accepted, s.Deduped, s.RejectedAdmission, s.RejectedRateLimit, s.RejectedBufferFull)
 	}
 	return nil
 }
@@ -209,6 +220,7 @@ type Service struct {
 	store    *postbox.Store
 	sessions map[uint64]*sessionState
 	queue    []*Pending
+	recent   *dedupWindow
 	stats    Stats
 }
 
@@ -219,6 +231,7 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		store:    cfg.Store,
 		sessions: make(map[uint64]*sessionState),
+		recent:   newDedupWindow(cfg.DedupCap, cfg.DedupWindowS),
 	}
 }
 
@@ -357,6 +370,16 @@ func (s *Service) Submit(m Msg, now float64) Reply {
 		return s.rejectLocked(CauseAdmission)
 	}
 	sess.lastActive = now
+	// Resubmission of content this AP already accepted (the TAccept was
+	// lost on the client's lossy link): answer idempotently without
+	// queueing a second copy — and without charging the client's token
+	// bucket for the mesh's unreliability. Only accepted messages enter
+	// the window, so a rejected submission can always be retried.
+	key := submitKey(m.ClientID, m.Dst, m.To, m.Payload)
+	if s.recent.seen(key, now) {
+		s.stats.Deduped++
+		return s.acceptLocked()
+	}
 	if !sess.bucket.allow(now, s.cfg.ClientRate, s.cfg.ClientBurst) {
 		s.stats.RejectedRateLimit++
 		return s.rejectLocked(CauseRateLimit)
@@ -373,6 +396,7 @@ func (s *Service) Submit(m Msg, now float64) Reply {
 		return s.rejectLocked(CauseBufferFull)
 	}
 	s.stats.Accepted++
+	s.recent.record(key, now)
 	sess.queued++
 	s.queue = append(s.queue, &Pending{
 		From: m.ClientID, Dst: m.Dst, To: m.To,

@@ -101,8 +101,9 @@ func TestRateLimitCause(t *testing.T) {
 	s := New(Config{ClientRate: 1, ClientBurst: 2})
 	handle(t, s, Msg{Type: TAttach, ClientID: 1, Addr: addr(1)}, 0)
 	var rejected int
+	// Distinct payloads: identical resends are deduped before the bucket.
 	for i := 0; i < 5; i++ {
-		r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("x")}, 0)
+		r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte{'x', byte(i)}}, 0)
 		if r.Type == TReject {
 			if r.Cause != CauseRateLimit {
 				t.Fatalf("got cause %v, want rate-limit", r.Cause)
@@ -117,7 +118,7 @@ func TestRateLimitCause(t *testing.T) {
 		t.Fatalf("rejected %d of 5, want 3 (burst 2)", rejected)
 	}
 	// Tokens refill with time.
-	if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("x")}, 10); r.Type != TAccept {
+	if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("refill")}, 10); r.Type != TAccept {
 		t.Fatalf("after refill: %+v", r)
 	}
 	checkBooks(t, s)
@@ -128,11 +129,11 @@ func TestBufferFullCauses(t *testing.T) {
 	s := New(Config{SendBufCap: 2, QueueCap: 100, ClientRate: 1000, ClientBurst: 1000})
 	handle(t, s, Msg{Type: TAttach, ClientID: 1, Addr: addr(1)}, 0)
 	for i := 0; i < 2; i++ {
-		if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("x")}, 0); r.Type != TAccept {
+		if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte{'x', byte(i)}}, 0); r.Type != TAccept {
 			t.Fatalf("submit %d: %+v", i, r)
 		}
 	}
-	r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("x")}, 0)
+	r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("overflow")}, 0)
 	if r.Type != TReject || r.Cause != CauseBufferFull {
 		t.Fatalf("send-buffer overflow: got %+v", r)
 	}
@@ -168,9 +169,10 @@ func TestTierEscalationDemandsPow(t *testing.T) {
 	if tier, bits, _ := s.Advice(0); tier != TierNormal || bits != 0 {
 		t.Fatalf("empty queue: tier %v bits %d", tier, bits)
 	}
-	// Fill to congestion threshold: 5 of 10.
+	// Fill to congestion threshold: 5 of 10 (distinct payloads, or the
+	// dedup window would collapse them into one).
 	for i := 0; i < 5; i++ {
-		if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte("x")}, 0); r.Type != TAccept {
+		if r := handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 1, Payload: []byte{'x', byte(i)}}, 0); r.Type != TAccept {
 			t.Fatalf("fill %d: %+v", i, r)
 		}
 	}
@@ -246,7 +248,8 @@ func TestDrainForwarderOutcomes(t *testing.T) {
 	s := New(Config{Building: 0, ClientRate: 1000, ClientBurst: 1000})
 	handle(t, s, Msg{Type: TAttach, ClientID: 1, Addr: addr(1)}, 0)
 	for i := 0; i < 4; i++ {
-		handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 7, Payload: []byte("remote")}, 0)
+		// Distinct payloads: identical resubmissions would be deduped.
+		handle(t, s, Msg{Type: TSubmit, ClientID: 1, Dst: 7, Payload: []byte{'r', byte(i)}}, 0)
 	}
 	// First two deliver through the forwarder, with transport latency added.
 	fwd := &sinkForwarder{deliver: true, latency: 0.5}

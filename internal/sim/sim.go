@@ -125,6 +125,15 @@ type Config struct {
 	Seed int64
 	// RecordTranscript enables per-AP reception/forwarding records.
 	RecordTranscript bool
+	// Mobiles adds moving carrier nodes (data mules): each overhears
+	// broadcast transmissions wherever its path has taken it, stores the
+	// packet, and rebroadcasts periodically (see Mobile). Carrier node
+	// indices follow the AP indices.
+	Mobiles []Mobile
+	// Probe, when set, receives the engine's ground-truth event stream
+	// (accepts, transmissions, deliveries) for invariant checking; see
+	// InvariantChecker. Must not retain the events beyond the call.
+	Probe func(ProbeEvent)
 }
 
 // DefaultConfig returns the evaluation defaults: 1 ms transmissions with up
@@ -158,6 +167,9 @@ type Result struct {
 	Receptions int
 	// APsReached counts distinct APs that received the packet.
 	APsReached int
+	// MobilesReached counts distinct mobile carriers that picked the
+	// packet up (APsReached excludes them).
+	MobilesReached int
 	// Transcript holds per-AP records when Config.RecordTranscript is set.
 	Transcript []APRecord
 	// SourceAP is the AP that injected the packet.
@@ -257,12 +269,36 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		dcBefore = dc.DecisionCounts()
 	}
 
+	numAPs := m.NumAPs()
+	total := numAPs + len(cfg.Mobiles)
+
 	// down folds the static failure set and the time-varying schedule.
-	down := func(ap int, t float64) bool {
-		if cfg.FailedAPs[ap] {
+	// Mobile carriers never fail: a vehicle drives out of the flood zone
+	// rather than drowning with it.
+	down := func(node int, t float64) bool {
+		if node >= numAPs {
+			return false
+		}
+		if cfg.FailedAPs[node] {
 			return true
 		}
-		return cfg.Schedule != nil && cfg.Schedule.Down(ap, t)
+		return cfg.Schedule != nil && cfg.Schedule.Down(node, t)
+	}
+
+	// nodePos resolves a node's position at time t: APs are static, a
+	// carrier is wherever its path has taken it — the engine re-resolves
+	// neighbor sets against these positions at every transmission.
+	nodePos := func(node int, t float64) geo.Point {
+		if node < numAPs {
+			return m.APs[node].Pos
+		}
+		return cfg.Mobiles[node-numAPs].Path.PosAt(t)
+	}
+
+	probe := func(kind ProbeKind, node, from int, t float64, ttl int) {
+		if cfg.Probe != nil {
+			cfg.Probe(ProbeEvent{Kind: kind, Node: node, From: from, T: t, TTL: ttl})
+		}
 	}
 
 	res := Result{SourceAP: -1}
@@ -274,11 +310,11 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 	srcAP := int(m.APsInBuilding(src)[0])
 	res.SourceAP = srcAP
 
-	seen := make([]bool, m.NumAPs())
-	hops := make([]int, m.NumAPs())
-	ttl := make([]int, m.NumAPs())
+	seen := make([]bool, total)
+	hops := make([]int, total)
+	ttl := make([]int, total)
 	if cfg.RecordTranscript {
-		res.Transcript = make([]APRecord, m.NumAPs())
+		res.Transcript = make([]APRecord, numAPs)
 	}
 
 	h := &eventHeap{}
@@ -294,7 +330,7 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		inDst[int(a)] = true
 	}
 
-	lastArrival := make([]float64, m.NumAPs())
+	lastArrival := make([]float64, total)
 	for i := range lastArrival {
 		lastArrival[i] = math.Inf(-1)
 	}
@@ -316,7 +352,6 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			return
 		}
 		seen[ap] = true
-		res.APsReached++
 		if from >= 0 {
 			hops[ap] = hops[from] + 1
 			ttl[ap] = ttl[from] - 1
@@ -324,6 +359,21 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			hops[ap] = 0
 			ttl[ap] = int(pkt.Header.TTL)
 		}
+		probe(ProbeAccept, ap, from, t, ttl[ap])
+		if ap >= numAPs {
+			// Mobile carrier pickup: store the packet and start the
+			// periodic carry-and-rebroadcast chain. Carriers bypass the
+			// Policy — they are not APs and know nothing about the map.
+			res.MobilesReached++
+			if ttl[ap] > 0 {
+				mb := cfg.Mobiles[ap-numAPs]
+				if t <= mb.horizon() {
+					push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
+				}
+			}
+			return
+		}
+		res.APsReached++
 		if cfg.RecordTranscript {
 			res.Transcript[ap].Received = true
 			res.Transcript[ap].ReceiveTime = t
@@ -333,10 +383,13 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			// Compromised node: consume silently; no delivery, no forward.
 			return
 		}
-		if inDst[ap] && !res.Delivered {
-			res.Delivered = true
-			res.DeliveryTime = t
-			res.DeliveryHops = hops[ap]
+		if inDst[ap] {
+			probe(ProbeDeliver, ap, -1, t, 0)
+			if !res.Delivered {
+				res.Delivered = true
+				res.DeliveryTime = t
+				res.DeliveryHops = hops[ap]
+			}
 		}
 		if ttl[ap] <= 0 {
 			return
@@ -377,9 +430,10 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			if down(e.ap, e.t) {
 				continue
 			}
+			probe(ProbeTransmit, e.ap, -1, e.t, ttl[e.ap])
 			res.Broadcasts++
 			arrival := e.t + cfg.TxDelay
-			pos := m.APs[e.ap].Pos
+			pos := nodePos(e.ap, e.t)
 			m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
 				if n == e.ap {
 					return true
@@ -399,10 +453,42 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 				push(event{t: arrival, kind: evReceive, ap: n, peer: e.ap})
 				return true
 			})
+			// Moving carriers are not in the static AP grid: re-resolve
+			// each against the transmitter's position. Out-of-range
+			// carriers are skipped silently (not lost frames — nothing was
+			// ever addressed to them); in-range ones face the same radio
+			// and loss coins as APs.
+			for j := range cfg.Mobiles {
+				node := numAPs + j
+				if node == e.ap || seen[node] {
+					continue
+				}
+				d := pos.Dist(nodePos(node, arrival))
+				if d > radio.MaxRange() {
+					continue
+				}
+				if !receives(radio, d, rng) {
+					res.LostToRange++
+					continue
+				}
+				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+					res.LostToLoss++
+					continue
+				}
+				push(event{t: arrival, kind: evReceive, ap: node, peer: e.ap})
+			}
+			// Chain the carrier's next periodic rebroadcast.
+			if e.ap >= numAPs {
+				mb := cfg.Mobiles[e.ap-numAPs]
+				if next := e.t + mb.interval(); next <= mb.horizon() {
+					push(event{t: next, kind: evTransmit, ap: e.ap})
+				}
+			}
 		case evUnicast:
 			if down(e.ap, e.t) {
 				continue
 			}
+			probe(ProbeTransmit, e.ap, -1, e.t, ttl[e.ap])
 			res.Broadcasts++
 			arrival := e.t + cfg.TxDelay
 			if down(e.peer, arrival) {

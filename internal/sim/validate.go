@@ -19,6 +19,9 @@ var (
 	ErrNegativeMaxEvents = errors.New("sim: MaxEvents must be >= 0")
 	// ErrNegativeCollisionWindow rejects a negative collision window.
 	ErrNegativeCollisionWindow = errors.New("sim: CollisionWindow must be >= 0")
+	// ErrBadMobile rejects a mobile carrier with no path or negative
+	// timing parameters.
+	ErrBadMobile = errors.New("sim: Mobile needs a Path and non-negative IntervalS/HorizonS")
 )
 
 // Validate checks the physically meaningless configurations a caller can
@@ -42,6 +45,11 @@ func (c Config) Validate() error {
 	}
 	if c.CollisionWindow < 0 {
 		return fmt.Errorf("%w (got %v)", ErrNegativeCollisionWindow, c.CollisionWindow)
+	}
+	for i, mb := range c.Mobiles {
+		if mb.Path == nil || mb.IntervalS < 0 || mb.HorizonS < 0 {
+			return fmt.Errorf("%w (mobile %d)", ErrBadMobile, i)
+		}
 	}
 	return nil
 }
