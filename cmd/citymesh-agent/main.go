@@ -67,6 +67,8 @@ func main() {
 		nbrRate   = flag.Float64("neighbor-rate", agent.DefaultNeighborRate, "per-neighbor inbound frames/sec (negative: unlimited)")
 		budget    = flag.Float64("inbound-budget", 4<<20, "global inbound byte budget, bytes/sec (0: unlimited)")
 		cacheCap  = flag.Int("conduit-cache", 0, "conduit-region cache capacity in messages (0: default, negative: disable)")
+		maxTTL    = flag.Int("max-ttl", 0, "reject frames whose received TTL exceeds this (0: off); set to the network TTL to stop TTL-reset attacks")
+		strictSan = flag.Bool("strict-sanity", false, "reject frames with conduit waypoints unmappable on this AP's map (corrupt route bytes)")
 
 		sessListen = flag.String("session-listen", "", "UDP address for the user-session protocol (empty: disabled; requires -building)")
 		sessDrain  = flag.Int("session-drain", 4, "session queue drain rate, messages/sec")
@@ -137,6 +139,8 @@ func main() {
 		NeighborRate:       *nbrRate,
 		InboundBytesPerSec: *budget,
 		ConduitCacheCap:    *cacheCap,
+		MaxTTL:             clampTTL(*maxTTL),
+		StrictSanity:       *strictSan,
 	}, nil)
 	a.OnDeliver(func(p *packet.Packet) {
 		fmt.Printf("DELIVERED msg=%016x from building %d: %q\n",
@@ -282,17 +286,30 @@ func parseNeighbors(s string) ([]*net.UDPAddr, error) {
 	return addrs, nil
 }
 
+// clampTTL folds the -max-ttl flag into the header TTL range.
+func clampTTL(v int) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
 // dumpStatus prints the full operational picture (SIGUSR1 and final drain).
 func dumpStatus(a *agent.Agent, tr *agent.UDPTransport, store *postbox.Store, svc *session.Service, start time.Time) {
 	st := a.Stats()
 	fmt.Printf("--- status (uptime %v) ---\n", time.Since(start).Round(time.Second))
 	fmt.Printf("frames: received=%d duplicates=%d rebroadcast=%d out-of-conduit=%d stored=%d\n",
 		st.Received, st.Duplicates, st.Rebroadcast, st.OutOfConduit, st.Stored)
-	fmt.Printf("drops:  total=%d malformed=%d oversized=%d rate-limited=%d panics-recovered=%d\n",
-		st.Dropped, st.DroppedMalformed, st.DroppedOversized, st.DroppedRateLimited, st.PanicsRecovered)
+	fmt.Printf("drops:  total=%d malformed=%d oversized=%d rate-limited=%d replayed=%d tampered=%d panics-recovered=%d\n",
+		st.Dropped, st.DroppedMalformed, st.DroppedOversized, st.DroppedRateLimited,
+		st.DroppedReplayed, st.DroppedTampered, st.PanicsRecovered)
 	d := st.Decisions
-	fmt.Printf("kernel: first-hop=%d in-conduit=%d out-of-conduit=%d geocast=%d ttl-expired=%d bad-route=%d\n",
-		d.FirstHop, d.InConduit, d.OutOfConduit, d.Geocast, d.TTLExpired, d.BadRoute)
+	fmt.Printf("kernel: first-hop=%d in-conduit=%d out-of-conduit=%d geocast=%d ttl-expired=%d bad-route=%d ttl-inflated=%d bad-conduit=%d\n",
+		d.FirstHop, d.InConduit, d.OutOfConduit, d.Geocast, d.TTLExpired, d.BadRoute,
+		d.TTLInflated, d.BadConduit)
 	restarts, panics := tr.Health()
 	fmt.Printf("transport: addr=%s watchdog-restarts=%d handler-panics=%d\n", tr.Addr(), restarts, panics)
 	fmt.Printf("liveness: hellos-sent=%d hellos-received=%d known-neighbors=%d\n",

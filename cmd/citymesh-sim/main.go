@@ -14,6 +14,8 @@
 //	citymesh-sim -fail-mode=uniform -fail-frac=0.1,0.3,0.5 -reliable
 //	citymesh-sim -cities=boston -fail-mode=flood -fail-frac=0.3 -reliable
 //	citymesh-sim -heal -fail-mode=disk -fail-frac=0.3 -heal-decay=30 -recover-at=60
+//	citymesh-sim -fail-mode=uniform -fail-frac=0 -adversary=grayhole -adv-frac=0.2 -defend
+//	citymesh-sim -experiment byzantine -cities gridtown -scale 0.5 -csv
 //	citymesh-sim -list
 //	citymesh-sim -experiment geocast -cities gridtown -scale 0.5 -csv
 package main
@@ -26,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"citymesh/internal/adversary"
 	"citymesh/internal/experiments"
 	"citymesh/internal/faults"
 	"citymesh/internal/health"
@@ -59,6 +62,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reliable = fs.Bool("reliable", false,
 			"also run the SendReliable escalation ladder per pair (resilience sweep always reports both)")
 		pairs = fs.Int("pairs", 30, "building pairs per resilience cell")
+
+		advBehavior = fs.String("adversary", "",
+			"compromise a fraction of APs with this misbehavior during the resilience sweep: "+
+				strings.Join(adversary.Names(), ", "))
+		advFrac = fs.Float64("adv-frac", 0.2, "compromised-AP fraction for -adversary")
+		defend  = fs.Bool("defend", false,
+			"arm honest receivers with the default defense stack (max-TTL, tamper, rate, geocast checks)")
 
 		heal = fs.Bool("heal", false,
 			"run the self-healing evaluation: ladder+route-health memory vs plain ladder, then store-and-heal")
@@ -104,7 +114,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *failMode != "" && faults.Mode(*failMode) != faults.ModeNone {
 		return runResilience(*cities, *failMode, *failFrac, *pairs, *seed, *scale,
-			*par, simCfg, *csv, *reliable, stdout, stderr)
+			*par, simCfg, *csv, *reliable, *advBehavior, *advFrac, *defend, stdout, stderr)
+	}
+	if *advBehavior != "" {
+		fmt.Fprintln(stderr, "citymesh-sim: -adversary rides on the resilience sweep; add -fail-mode "+
+			"(-fail-mode=uniform -fail-frac=0 gives an adversary-only run) or use -experiment byzantine")
+		return 2
 	}
 
 	cfg := experiments.Figure6Config{
@@ -236,7 +251,7 @@ func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 // runResilience executes the fault-injection sweep. The -reliable flag is
 // accepted for CLI symmetry with the README examples; the sweep reports
 // plain and ladder delivery side by side either way.
-func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, par int, simCfg *sim.Config, csv, reliable bool, stdout, stderr io.Writer) int {
+func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, par int, simCfg *sim.Config, csv, reliable bool, advBehavior string, advFrac float64, defend bool, stdout, stderr io.Writer) int {
 	_ = reliable
 	fracs, ok := parseFracs(fracsCSV, stderr)
 	if !ok {
@@ -250,6 +265,9 @@ func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale f
 		Scale:       scale,
 		Parallelism: par,
 		Sim:         simCfg,
+		Adversary:   advBehavior,
+		AdvFrac:     advFrac,
+		Defend:      defend,
 	}
 	if cities != "" {
 		cfg.Cities = strings.Split(cities, ",")
@@ -258,6 +276,14 @@ func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale f
 	if err != nil {
 		fmt.Fprintln(stderr, "citymesh-sim:", err)
 		return 1
+	}
+	if advBehavior != "" && !csv {
+		def := "undefended"
+		if defend {
+			def = "defended"
+		}
+		fmt.Fprintf(stdout, "adversary: %s at %.0f%% of APs, %s receivers\n",
+			advBehavior, 100*advFrac, def)
 	}
 	if csv {
 		fmt.Fprint(stdout, experiments.ResilienceCSV(rows))

@@ -65,6 +65,15 @@ type Config struct {
 	InboundBytesPerSec float64
 	// InboundBurstBytes is the global budget's burst; 0 derives 2x rate.
 	InboundBurstBytes float64
+	// MaxTTL, when non-zero, rejects frames whose as-received TTL exceeds
+	// it (fwd.ReasonTTLInflated — a Byzantine TTL-resetter upstream). Set
+	// it to the deployment's network TTL.
+	MaxTTL uint8
+	// StrictSanity enables the kernel's cheap header-shape rejection
+	// (fwd.ReasonBadConduit): waypoint indices no honest sender can
+	// produce against this agent's map drop the frame before it claims a
+	// dedup slot.
+	StrictSanity bool
 	// Clock is injectable for deterministic rate-limit and liveness tests;
 	// nil means time.Now.
 	Clock func() time.Time
@@ -132,6 +141,8 @@ type Stats struct {
 	DroppedMalformed   int // failed decode: bad CRC/magic/version/structure
 	DroppedOversized   int // exceeded a validation budget (packet.Oversize)
 	DroppedRateLimited int // per-source rate or global byte budget exceeded
+	DroppedReplayed    int // same (source, message ID) pair seen before: a replay storm
+	DroppedTampered    int // failed kernel sanity: inflated TTL or corrupt conduit bytes
 
 	// OutOfConduit counts received frames not rebroadcast because this AP
 	// lies outside the packet's conduit — the paper's core suppression.
@@ -172,8 +183,14 @@ type Agent struct {
 	view fwd.MapView
 	self fwd.Self
 
-	mu        sync.Mutex
-	seen      *dedupSet
+	mu   sync.Mutex
+	seen *dedupSet
+	// pairSeen remembers (source, message ID) pairs. A correct neighbor
+	// broadcasts a given message at most once, so a repeat pair is a
+	// replayed frame (dropped, counted per cause), while the same message
+	// arriving from *different* neighbors stays a benign flood-overlap
+	// duplicate. Same FIFO bound as the dedup cache.
+	pairSeen  *dedupSet
 	stats     Stats
 	neighbors map[string]time.Time
 	// onDeliver fires when a packet for this agent's building arrives.
@@ -202,14 +219,19 @@ func New(cfg Config, tr Transport) *Agent {
 		burst = DefaultNeighborBurst
 	}
 	a := &Agent{
-		cfg:       cfg,
-		tr:        tr,
-		store:     store,
-		clock:     clock,
-		limiter:   newLimiter(rate, burst, cfg.InboundBytesPerSec, cfg.InboundBurstBytes, 0),
-		kernel:    fwd.NewKernel(fwd.Options{CacheCap: cfg.ConduitCacheCap}),
+		cfg:     cfg,
+		tr:      tr,
+		store:   store,
+		clock:   clock,
+		limiter: newLimiter(rate, burst, cfg.InboundBytesPerSec, cfg.InboundBurstBytes, 0),
+		kernel: fwd.NewKernel(fwd.Options{
+			CacheCap:     cfg.ConduitCacheCap,
+			MaxTTL:       cfg.MaxTTL,
+			StrictSanity: cfg.StrictSanity,
+		}),
 		self:      fwd.Self{Pos: cfg.Pos, Building: cfg.Building},
 		seen:      newDedupSet(cfg.DedupCap),
+		pairSeen:  newDedupSet(cfg.DedupCap),
 		neighbors: make(map[string]time.Time),
 	}
 	if cfg.City != nil {
@@ -368,7 +390,25 @@ func (a *Agent) HandleFrameFrom(src string, frame []byte) {
 		}
 		return
 	}
+
+	// Kernel sanity runs before the frame can claim a dedup slot: a
+	// corruptor must not be able to poison the dedup cache with a tampered
+	// copy and thereby suppress the genuine message behind it.
+	if _, ok := a.kernel.Sanity(a.view, &pkt.Header, false); !ok {
+		a.drop(func(st *Stats) { st.DroppedTampered++ })
+		return
+	}
+
 	a.mu.Lock()
+	// A repeat (source, message ID) pair is a replay: a correct neighbor
+	// broadcasts each message at most once. Checked before Received so a
+	// replay storm lands entirely in the drop partition.
+	if src != "" && a.pairSeen.insert(pairID(src, pkt.Header.MsgID)) {
+		a.stats.Dropped++
+		a.stats.DroppedReplayed++
+		a.mu.Unlock()
+		return
+	}
 	a.stats.Received++
 	if src != "" {
 		a.noteNeighborLocked(src, now)
@@ -408,6 +448,19 @@ func (a *Agent) HandleFrameFrom(src string, frame []byte) {
 	if tr != nil {
 		_ = tr.Broadcast(out)
 	}
+}
+
+// pairID folds a source key and message ID into the replay pair-set key:
+// FNV-1a over the source, mixed with the golden-ratio-scrambled message ID.
+// A 64-bit collision misclassifying a fresh frame as a replay is vanishingly
+// rare next to radio loss.
+func pairID(src string, msgID uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	return h ^ (msgID * 0x9E3779B97F4A7C15)
 }
 
 // drop records one dropped frame with its cause.

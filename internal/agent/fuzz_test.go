@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"citymesh/internal/geo"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
 )
@@ -47,6 +48,88 @@ func FuzzHandleFrame(f *testing.F) {
 		}
 		if got := st.Received + st.Dropped + st.HellosReceived; got != 2 {
 			t.Fatalf("frame accounting: %d of 2 (stats %+v)", got, st)
+		}
+	})
+}
+
+// fuzzCity is a small real map so the strict conduit sanity check has
+// buildings to validate waypoints against.
+func fuzzCity() *osm.City {
+	city := &osm.City{Name: "fuzz-adv"}
+	for i := 0; i < 4; i++ {
+		c := geo.Pt(float64(i)*60, 0)
+		fp := geo.Polygon{
+			c.Add(geo.Pt(-5, -5)), c.Add(geo.Pt(5, -5)),
+			c.Add(geo.Pt(5, 5)), c.Add(geo.Pt(-5, 5)),
+		}
+		city.Buildings = append(city.Buildings, &osm.Feature{
+			ID: osm.ID(i + 1), Kind: osm.KindBuilding, Footprint: fp, Centroid: c,
+		})
+	}
+	return city
+}
+
+// FuzzAdversarialFrame drives the Byzantine defense stack specifically: a
+// hardened agent (MaxTTL, strict conduit sanity, per-pair replay detection)
+// receives attacker-shaped frames — inflated TTLs, out-of-map waypoints,
+// bit flips, exact replays. Invariants: no panic escapes, every frame lands
+// in exactly one counter, the per-cause breakdown partitions Dropped, a
+// TTL past the network maximum is never accepted, and a replayed accepted
+// frame from an identified source is always attributed to DroppedReplayed.
+func FuzzAdversarialFrame(f *testing.F) {
+	f.Add("peer", uint8(8), uint64(1), uint32(1), -1, []byte("honest"))
+	f.Add("peer", uint8(200), uint64(2), uint32(2), -1, []byte("ttl-inflated"))
+	f.Add("", uint8(4), uint64(3), uint32(1<<20), -1, []byte("bad-conduit"))
+	f.Add("liar", uint8(16), uint64(4), uint32(0), 5, []byte("bitflip"))
+	f.Fuzz(func(t *testing.T, src string, ttl uint8, msgID uint64, wp uint32, flip int, payload []byte) {
+		const maxTTL = 64
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		wire, err := (&packet.Packet{
+			Header:  packet.Header{TTL: ttl, MsgID: msgID, Waypoints: []uint32{0, wp}},
+			Payload: payload,
+		}).Encode(nil)
+		if err != nil {
+			t.Skip("unencodable input")
+		}
+		if flip >= 0 && len(wire) > 0 {
+			wire[flip%len(wire)] ^= 0x01
+		}
+		now := time.Unix(20000, 0)
+		a := New(Config{
+			ID: 1, Building: 0, City: fuzzCity(),
+			MaxTTL: maxTTL, StrictSanity: true, NeighborRate: -1,
+			Clock: func() time.Time { return now },
+		}, nil)
+		a.HandleFrameFrom(src, wire)
+		first := a.Stats()
+		a.HandleFrameFrom(src, wire)
+		st := a.Stats()
+		if st.PanicsRecovered != 0 {
+			t.Fatalf("defense stack panicked (src %q ttl %d wp %d flip %d)", src, ttl, wp, flip)
+		}
+		if got := st.Received + st.Dropped + st.HellosReceived; got != 2 {
+			t.Fatalf("frame accounting: %d of 2 (stats %+v)", got, st)
+		}
+		perCause := st.DroppedMalformed + st.DroppedOversized + st.DroppedRateLimited +
+			st.DroppedReplayed + st.DroppedTampered
+		if perCause != st.Dropped {
+			t.Fatalf("per-cause drops %d do not partition Dropped %d (stats %+v)", perCause, st.Dropped, st)
+		}
+		if flip < 0 && ttl > maxTTL && st.Received != 0 {
+			t.Fatalf("TTL %d past the network maximum %d was accepted", ttl, maxTTL)
+		}
+		if first.DroppedTampered == 1 && st.DroppedTampered != 2 {
+			t.Fatalf("sanity rejection not deterministic: first %d, total %d", first.DroppedTampered, st.DroppedTampered)
+		}
+		if first.Received == 1 {
+			if src != "" && st.DroppedReplayed != 1 {
+				t.Fatalf("replayed accepted frame from %q not attributed (stats %+v)", src, st)
+			}
+			if src == "" && st.Duplicates != 1 {
+				t.Fatalf("anonymous duplicate not suppressed (stats %+v)", st)
+			}
 		}
 	})
 }

@@ -88,23 +88,31 @@ func TestMalformedFrameStorm(t *testing.T) {
 	if accounted != frames {
 		t.Errorf("accounted %d of %d frames (stats %+v)", accounted, frames, st)
 	}
-	if st.Dropped != st.DroppedMalformed+st.DroppedOversized+st.DroppedRateLimited {
+	if st.Dropped != st.DroppedMalformed+st.DroppedOversized+st.DroppedRateLimited+
+		st.DroppedReplayed+st.DroppedTampered {
 		t.Errorf("per-cause drops do not sum to Dropped: %+v", st)
 	}
 	if st.DroppedMalformed == 0 || st.DroppedOversized == 0 || st.DroppedRateLimited == 0 {
 		t.Errorf("storm should hit every drop cause: %+v", st)
 	}
+	if st.DroppedReplayed == 0 {
+		t.Errorf("repeated (source, msg) frames not classified as replays: %+v", st)
+	}
 	if st.Duplicates == 0 {
-		t.Errorf("replayed frames not deduplicated: %+v", st)
+		t.Errorf("flood-overlap duplicates not recorded: %+v", st)
 	}
 
 	// Bounded memory: every adversary-controlled table respects its cap.
 	a.mu.Lock()
 	dedupLen := a.seen.len()
+	pairLen := a.pairSeen.len()
 	neighborLen := len(a.neighbors)
 	a.mu.Unlock()
 	if dedupLen > 256 {
 		t.Errorf("dedup cache grew to %d entries, cap 256", dedupLen)
+	}
+	if pairLen > 256 {
+		t.Errorf("replay pair-set grew to %d entries, cap 256", pairLen)
 	}
 	if neighborLen > maxNeighborEntries {
 		t.Errorf("neighbor table grew to %d entries, cap %d", neighborLen, maxNeighborEntries)

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"citymesh/internal/buildinggraph"
 	"citymesh/internal/conduit"
+	"citymesh/internal/fwd"
 	"citymesh/internal/health"
 	"citymesh/internal/packet"
 	"citymesh/internal/routing"
@@ -90,6 +92,16 @@ type ReliableConfig struct {
 	// advances by each backoff wait, so suspicion decays in the same sim
 	// time the ladder spends.
 	Health *health.Map
+	// Evidence, with Health set, audits every failed conduit attempt for
+	// per-neighbor delivery-evidence mismatches: an in-conduit AP that
+	// provably received the frame with TTL to spare and did not forward it
+	// is a liar (grayhole/blackhole), not collateral damage — honest
+	// in-conduit APs always rebroadcast. Accused buildings take a
+	// MismatchBump instead of the gentler corridor-wide FailBump, so
+	// penalty-weighted replanning routes around liars specifically. The
+	// audit reads the attempt's simulation transcript, the simulator's
+	// stand-in for the passive overhear evidence a deployed AP collects.
+	Evidence bool
 }
 
 // Typed validation errors returned (wrapped) by ReliableConfig.Validate.
@@ -255,6 +267,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	attemptSim := func(i int) sim.Config {
 		c := simCfg
 		c.Seed = simCfg.Seed + int64(i)*0x9e3779b9
+		if rcfg.Evidence && hm != nil {
+			// The mismatch audit needs per-AP reception evidence.
+			c.RecordTranscript = true
+		}
 		return c
 	}
 	record := func(rung Rung, wait float64, broadcasts int, delivered bool, deliveryTime float64, errStr string) {
@@ -310,6 +326,9 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			if res.Delivered {
 				return out, nil
 			}
+			if rcfg.Evidence {
+				n.observeEvidence(hm, pkt, res, src, dst)
+			}
 		}
 	} else {
 		record(RungDirect, backoff(), 0, false, 0, planErr.Error())
@@ -339,6 +358,9 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			n.observeHealth(hm, path, res.Delivered)
 			if res.Delivered {
 				return out, nil
+			}
+			if rcfg.Evidence {
+				n.observeEvidence(hm, pkt, res, src, dst)
 			}
 		}
 	}
@@ -417,6 +439,52 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 // the graph neighbors of each interior waypoint: disaster damage is
 // spatially correlated (the disk and flood injectors kill regions, not
 // points), so a failed corridor implicates its surroundings.
+// observeEvidence is the ReliableConfig.Evidence audit: after a failed
+// conduit attempt, accuse every in-conduit AP that received the frame with
+// TTL to spare yet never forwarded it. Out-of-conduit silence is correct
+// behavior and endpoint buildings are excluded (the source always
+// transmits; the destination's state is partition classification's job), so
+// what remains is exactly the grayhole/blackhole signature. Accusations are
+// per building (deduplicated, sorted for determinism) and carry the
+// MismatchBump weight.
+func (n *Network) observeEvidence(hm *health.Map, pkt *packet.Packet, res sim.Result, src, dst int) {
+	if hm == nil || res.Delivered || len(res.Transcript) == 0 {
+		return
+	}
+	region := fwd.BuildRegion(n.City, &pkt.Header)
+	if region == nil {
+		return
+	}
+	accused := make(map[int]bool)
+	for ap := range res.Transcript {
+		tr := &res.Transcript[ap]
+		if !tr.Received || tr.Forwarded {
+			continue
+		}
+		if tr.Hops >= int(pkt.Header.TTL)-1 {
+			continue // the wave legitimately died of TTL here
+		}
+		b := n.Mesh.APs[ap].Building
+		if b < 0 || b == src || b == dst {
+			continue
+		}
+		self := fwd.Self{Pos: n.Mesh.APs[ap].Pos, Building: b}
+		if !region.Contains(fwd.TestPoint(n.City, self)) {
+			continue
+		}
+		accused[b] = true
+	}
+	if len(accused) == 0 {
+		return
+	}
+	bs := make([]int, 0, len(accused))
+	for b := range accused {
+		bs = append(bs, b)
+	}
+	sort.Ints(bs)
+	hm.ObserveMismatch(bs)
+}
+
 func (n *Network) observeHealth(hm *health.Map, waypoints []int, delivered bool) {
 	if hm == nil || len(waypoints) < 3 {
 		return

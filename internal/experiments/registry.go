@@ -285,6 +285,29 @@ func Registry() []Experiment {
 			}
 			return textCSV{text: FloodFrontText(rows), csv: FloodFrontCSV(rows)}, nil
 		}},
+		expFunc{"byzantine", func(cfg RunConfig) (Result, error) {
+			cfg = cfg.withDefaults()
+			bc := DefaultByzantineConfig()
+			if len(cfg.Cities) > 0 {
+				bc.City = cfg.Cities[0]
+			} else if cfg.City != "boston" {
+				// The shared default ("boston") is overridden by the
+				// experiment's own default ("gridtown") unless the user
+				// asked for a specific city.
+				bc.City = cfg.City
+			}
+			bc.Seed = cfg.Seed
+			bc.Scale = cfg.Scale
+			bc.Parallelism = cfg.Parallelism
+			if cfg.Pairs > 0 {
+				bc.Pairs = cfg.Pairs
+			}
+			res, err := Byzantine(bc)
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: ByzantineText(res), csv: ByzantineCSV(res)}, nil
+		}},
 		expFunc{"geocast", func(cfg RunConfig) (Result, error) {
 			cfg = cfg.withDefaults()
 			rows, err := GeocastSweep(cfg.City, cfg.Scale, cfg.Seed, nil, cfg.Pairs, cfg.Parallelism)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"citymesh/internal/adversary"
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
 	"citymesh/internal/faults"
@@ -63,6 +64,16 @@ type ResilienceConfig struct {
 	// uses GOMAXPROCS, 1 forces serial. Output is byte-identical across
 	// parallelism levels for the same seed.
 	Parallelism int
+	// Adversary, when non-empty, additionally compromises a seeded
+	// fraction of each city's APs with this misbehavior (see
+	// adversary.Names) — liars and rubble coexist, and a failed liar is
+	// simply down.
+	Adversary string
+	// AdvFrac is the compromised fraction (default 0.2 when Adversary is
+	// set).
+	AdvFrac float64
+	// Defend arms honest receivers with adversary.DefaultDefense.
+	Defend bool
 }
 
 // DefaultResilienceConfig sweeps uniform failure on every preset.
@@ -102,6 +113,13 @@ func Resilience(cfg ResilienceConfig) ([]ResilienceRow, error) {
 	if cfg.Pairs <= 0 {
 		cfg.Pairs = 30
 	}
+	behavior, err := adversary.Parse(cfg.Adversary)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	if cfg.AdvFrac <= 0 {
+		cfg.AdvFrac = 0.2
+	}
 	if cfg.Sim != nil {
 		if err := cfg.Sim.Validate(); err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
@@ -124,8 +142,12 @@ func Resilience(cfg ResilienceConfig) ([]ResilienceRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
+		// The adversary realization is per city (it indexes the city's
+		// mesh) and constant across the failure sweep, so the fraction
+		// axis isolates crash faults with the liars held fixed.
+		asg := adversary.Select(n.Mesh, behavior, cfg.AdvFrac, cfg.Seed+7777)
 		for _, frac := range cfg.Fracs {
-			row, err := resilienceCell(n, name, pairs, frac, cfg)
+			row, err := resilienceCell(n, name, pairs, frac, cfg, asg)
 			if err != nil {
 				// A mode can be inapplicable to one city (e.g. flooding a
 				// waterless preset): report and keep sweeping the rest.
@@ -138,7 +160,7 @@ func Resilience(cfg ResilienceConfig) ([]ResilienceRow, error) {
 	return rows, nil
 }
 
-func resilienceCell(n *core.Network, city string, pairs [][2]int, frac float64, cfg ResilienceConfig) (ResilienceRow, error) {
+func resilienceCell(n *core.Network, city string, pairs [][2]int, frac float64, cfg ResilienceConfig, asg adversary.Assignment) (ResilienceRow, error) {
 	row := ResilienceRow{City: city, Mode: cfg.Mode, FailFrac: frac}
 	inj, err := faults.Inject(n.Mesh, n.City, faults.Config{
 		Mode: cfg.Mode,
@@ -175,6 +197,10 @@ func resilienceCell(n *core.Network, city string, pairs [][2]int, frac float64, 
 		simCfg := base
 		simCfg.Seed = seed
 		inj.Apply(&simCfg)
+		asg.Apply(&simCfg)
+		if cfg.Defend {
+			simCfg.Defense = adversary.DefaultDefense(n.Cfg.TTL)
+		}
 
 		var o outcome
 		if res, err := n.Send(p[0], p[1], nil, simCfg); err == nil {

@@ -70,6 +70,16 @@ const (
 	// waypoints could not be resolved against the map (unknown building
 	// index, empty route, or no map at all).
 	ReasonBadRoute
+	// ReasonTTLInflated rejected the frame outright: its as-received TTL
+	// exceeds the kernel's configured network maximum, the signature of a
+	// Byzantine TTL-resetter upstream. Unlike the suppressions above, the
+	// frame is not delivered either — its header is evidence of tampering.
+	ReasonTTLInflated
+	// ReasonBadConduit rejected the frame outright under strict sanity:
+	// the header's conduit description is malformed against the local map
+	// (waypoint index beyond the building count), which no honest sender
+	// can produce — a corruptor's flipped route bytes.
+	ReasonBadConduit
 
 	numReasons
 )
@@ -89,6 +99,10 @@ func (r Reason) String() string {
 		return "out-of-conduit"
 	case ReasonBadRoute:
 		return "bad-route"
+	case ReasonTTLInflated:
+		return "ttl-inflated"
+	case ReasonBadConduit:
+		return "bad-conduit"
 	default:
 		return "unknown"
 	}
@@ -118,15 +132,23 @@ type Counts struct {
 	InConduit    uint64
 	OutOfConduit uint64
 	BadRoute     uint64
+	TTLInflated  uint64
+	BadConduit   uint64
 }
 
 // Total returns the number of decisions counted.
 func (c Counts) Total() uint64 {
-	return c.FirstHop + c.TTLExpired + c.Geocast + c.InConduit + c.OutOfConduit + c.BadRoute
+	return c.FirstHop + c.TTLExpired + c.Geocast + c.InConduit + c.OutOfConduit +
+		c.BadRoute + c.TTLInflated + c.BadConduit
 }
 
 // Rebroadcasts returns the decisions that requested a transmission.
 func (c Counts) Rebroadcasts() uint64 { return c.FirstHop + c.Geocast + c.InConduit }
+
+// Rejected returns the sanity rejections: frames the kernel refused to
+// process at all (no delivery, no rebroadcast) because the header is
+// evidence of tampering.
+func (c Counts) Rejected() uint64 { return c.TTLInflated + c.BadConduit }
 
 // Sub returns c - o field-wise (for diffing two snapshots of one kernel).
 func (c Counts) Sub(o Counts) Counts {
@@ -137,6 +159,8 @@ func (c Counts) Sub(o Counts) Counts {
 		InConduit:    c.InConduit - o.InConduit,
 		OutOfConduit: c.OutOfConduit - o.OutOfConduit,
 		BadRoute:     c.BadRoute - o.BadRoute,
+		TTLInflated:  c.TTLInflated - o.TTLInflated,
+		BadConduit:   c.BadConduit - o.BadConduit,
 	}
 }
 
@@ -246,6 +270,16 @@ type Options struct {
 	// CacheCap bounds the conduit-region cache (number of message IDs);
 	// 0 means DefaultCacheCap, negative disables caching entirely.
 	CacheCap int
+	// MaxTTL, when non-zero, rejects non-first-hop frames whose
+	// as-received TTL exceeds it (ReasonTTLInflated). Set it to the
+	// deployment's network TTL: no honest frame can arrive above it, so
+	// anything that does was rewritten by a Byzantine TTL-resetter.
+	MaxTTL uint8
+	// StrictSanity enables cheap header-shape rejection: a waypoint index
+	// beyond the map view's building count is unmappable by any honest
+	// sender and rejects the frame outright (ReasonBadConduit) instead of
+	// merely suppressing the rebroadcast as bad-route.
+	StrictSanity bool
 }
 
 // Kernel is the shared forwarding engine: the pure decision table plus a
@@ -256,13 +290,52 @@ type Options struct {
 type Kernel struct {
 	cache  regionCache
 	counts [numReasons]atomic.Uint64
+	maxTTL int
+	strict bool
 }
 
 // NewKernel returns a kernel with the given options.
 func NewKernel(opts Options) *Kernel {
-	k := &Kernel{}
+	k := &Kernel{maxTTL: int(opts.MaxTTL), strict: opts.StrictSanity}
 	k.cache.init(opts.CacheCap)
 	return k
+}
+
+// sanity runs the kernel's cheap adversarial rejections on a received
+// header. ok is false on rejection, with the rejecting verdict (neither
+// deliver nor rebroadcast). First-hop frames are exempt: the injecting AP
+// vouches for its own submission, and the source header legitimately
+// carries the full network TTL.
+func (k *Kernel) sanity(view MapView, hdr *packet.Header, ttl int, firstHop bool) (Verdict, bool) {
+	if firstHop {
+		return Verdict{}, true
+	}
+	if k.maxTTL > 0 && ttl > k.maxTTL {
+		return Verdict{Reason: ReasonTTLInflated}, false
+	}
+	if k.strict && view != nil {
+		nb := uint32(view.NumBuildings())
+		for _, w := range hdr.Waypoints {
+			if w >= nb {
+				return Verdict{Reason: ReasonBadConduit}, false
+			}
+		}
+	}
+	return Verdict{}, true
+}
+
+// Sanity is the exported form of the kernel's cheap rejection stack, for
+// callers that want to refuse a frame before spending dedup-cache or
+// delivery work on it (the live agent runs it pre-dedup so tampered frames
+// never claim a dedup slot). A rejection is counted here; callers must not
+// follow a failed Sanity with Decide for the same frame, which would
+// double-count.
+func (k *Kernel) Sanity(view MapView, hdr *packet.Header, firstHop bool) (Verdict, bool) {
+	v, ok := k.sanity(view, hdr, int(hdr.TTL), firstHop)
+	if !ok {
+		k.counts[v.Reason].Add(1)
+	}
+	return v, ok
 }
 
 // Decide is the cached, counted form of the package-level Decide: same
@@ -276,6 +349,10 @@ func (k *Kernel) Decide(view MapView, hdr *packet.Header, self Self, firstHop bo
 // callers whose header field does not carry it (the simulator tracks
 // remaining TTL per AP instead of rewriting the shared packet).
 func (k *Kernel) DecideTTL(view MapView, hdr *packet.Header, ttl int, self Self, firstHop bool) Verdict {
+	if v, ok := k.sanity(view, hdr, ttl, firstHop); !ok {
+		k.counts[v.Reason].Add(1)
+		return v
+	}
 	v := verdict(view, hdr, ttl, self, firstHop, func() *conduit.Region {
 		return k.cache.get(view, hdr)
 	})
@@ -299,6 +376,8 @@ func (k *Kernel) Counts() Counts {
 		InConduit:    k.counts[ReasonInConduit].Load(),
 		OutOfConduit: k.counts[ReasonOutOfConduit].Load(),
 		BadRoute:     k.counts[ReasonBadRoute].Load(),
+		TTLInflated:  k.counts[ReasonTTLInflated].Load(),
+		BadConduit:   k.counts[ReasonBadConduit].Load(),
 	}
 }
 

@@ -42,6 +42,12 @@ type Config struct {
 	// a delivered route — direct evidence the region forwards again, which
 	// re-trusts much faster than decay alone.
 	SuccessFactor float64
+	// MismatchBump is the suspicion added per delivery-evidence mismatch: a
+	// building whose AP provably received a frame and should have forwarded
+	// it, yet the wave died there. A mismatch is stronger evidence than a
+	// bare route failure (the lie is localized), so it bumps harder than
+	// FailBump.
+	MismatchBump float64
 	// MaxSuspicion caps any single building's score so a long outage
 	// cannot build unbounded distrust that outlives the repair.
 	MaxSuspicion float64
@@ -68,6 +74,7 @@ func DefaultConfig() Config {
 		DecayTau:         30,
 		FailBump:         1,
 		SuccessFactor:    0.25,
+		MismatchBump:     2,
 		MaxSuspicion:     8,
 		PenaltyWeight:    8,
 		SuspectThreshold: 0.5,
@@ -87,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SuccessFactor <= 0 || c.SuccessFactor >= 1 {
 		c.SuccessFactor = d.SuccessFactor
+	}
+	if c.MismatchBump <= 0 {
+		c.MismatchBump = d.MismatchBump
 	}
 	if c.MaxSuspicion <= 0 {
 		c.MaxSuspicion = d.MaxSuspicion
@@ -237,6 +247,19 @@ func (m *Map) ObserveSuccess(buildings []int) {
 			continue
 		}
 		m.sus[b] = entry{score: s, at: m.now}
+	}
+}
+
+// ObserveMismatch records delivery-evidence mismatches: buildings whose AP
+// received a frame it should have forwarded, yet the wave provably died
+// there — the signature of a grayhole or blackhole rather than radio loss.
+// Each listed building gains MismatchBump suspicion, so penalty-weighted
+// replanning routes around liars the same way it routes around damage.
+func (m *Map) ObserveMismatch(buildings []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, b := range buildings {
+		m.addLocked(b, m.cfg.MismatchBump)
 	}
 }
 

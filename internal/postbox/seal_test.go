@@ -112,6 +112,38 @@ func sealWithBadSig(t *testing.T, sender *Identity, recipient PublicIdentity, pl
 	return aead.Seal(out, nonce[:], inner, associatedData(eph.PublicKey().Bytes(), rcptAddr))
 }
 
+// TestOpenReplayedCiphertextAccepted pins the crypto layer's replay
+// contract: Open is stateless, so a byte-identical replay of a sealed
+// message decrypts again — same plaintext, same authenticated sender — and
+// is ACCEPTED here by design. Replay suppression is the receive path's job
+// (agent per-(source, msgID) detection feeding DroppedReplayed), not the
+// sealed envelope's; this test exists so that division of labor is a pinned
+// decision rather than an accident.
+func TestOpenReplayedCiphertextAccepted(t *testing.T) {
+	alice := mustIdentity(t)
+	bob := mustIdentity(t)
+	sealed, err := Seal(rand.Reader, alice, bob.Public(), []byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, sender1, err := Open(bob, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replay: the exact same ciphertext, delivered again.
+	replayed := append([]byte(nil), sealed...)
+	second, sender2, err := Open(bob, replayed)
+	if err != nil {
+		t.Fatalf("replayed ciphertext must still open (statelessness): %v", err)
+	}
+	if string(first) != "once" || string(second) != string(first) {
+		t.Errorf("replay decrypted to %q, original to %q", second, first)
+	}
+	if sender1.Address() != alice.Address() || sender2.Address() != sender1.Address() {
+		t.Error("replay changed the authenticated sender")
+	}
+}
+
 func TestOpenBadInnerSignature(t *testing.T) {
 	alice := mustIdentity(t)
 	bob := mustIdentity(t)

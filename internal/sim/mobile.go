@@ -129,19 +129,30 @@ type ProbeEvent struct {
 //	sim.Run(...)
 //	violations := ic.Violations()
 //
+// When the run declares an Adversary, the checker runs adversary-aware:
+// violations in which any involved node is declared Byzantine are expected
+// misbehavior, tallied in ByzantineViolations() and kept out of the failing
+// report — a TTL-resetter *should* trip the strict-decrement invariant.
+// Violations among honest nodes still fail, which is the property the
+// byzantine experiment gates on.
+//
 // The checker is not safe for concurrent use; give each run its own.
 type InvariantChecker struct {
 	numAPs    int
 	failedAPs map[int]bool
 	schedule  FailureSchedule
+	adversary *Adversary
 
 	acceptTTL  map[int]int
 	transmits  map[int]int
 	violations []string
+	total      int
+	byzantine  int
 }
 
 // maxViolations caps the recorded violation list; a broken engine would
-// otherwise drown the report in millions of identical lines.
+// otherwise drown the report in millions of identical lines. Total() keeps
+// counting past the cap so adversary runs report true magnitudes.
 const maxViolations = 32
 
 // NewInvariantChecker builds a checker for runs using cfg's failure model
@@ -151,6 +162,7 @@ func NewInvariantChecker(numAPs int, cfg Config) *InvariantChecker {
 		numAPs:    numAPs,
 		failedAPs: cfg.FailedAPs,
 		schedule:  cfg.Schedule,
+		adversary: cfg.Adversary,
 		acceptTTL: make(map[int]int),
 		transmits: make(map[int]int),
 	}
@@ -166,7 +178,17 @@ func (ic *InvariantChecker) down(node int, t float64) bool {
 	return ic.schedule != nil && ic.schedule.Down(node, t)
 }
 
-func (ic *InvariantChecker) violate(format string, args ...any) {
+// violate records one breach. When any involved node is declared Byzantine
+// the breach is expected misbehavior and only bumps the Byzantine tally;
+// honest breaches count toward Total and fill the capped report list.
+func (ic *InvariantChecker) violate(involved []int, format string, args ...any) {
+	for _, n := range involved {
+		if n >= 0 && ic.adversary.IsByzantine(n) {
+			ic.byzantine++
+			return
+		}
+	}
+	ic.total++
 	if len(ic.violations) < maxViolations {
 		ic.violations = append(ic.violations, fmt.Sprintf(format, args...))
 	}
@@ -177,18 +199,19 @@ func (ic *InvariantChecker) Probe(e ProbeEvent) {
 	switch e.Kind {
 	case ProbeAccept:
 		if _, dup := ic.acceptTTL[e.Node]; dup {
-			ic.violate("node %d accepted twice (t=%.6f): forwarding loop", e.Node, e.T)
+			ic.violate([]int{e.Node, e.From}, "node %d accepted twice (t=%.6f): forwarding loop", e.Node, e.T)
 			return
 		}
 		if ic.down(e.Node, e.T) {
-			ic.violate("failed AP %d accepted at t=%.6f", e.Node, e.T)
+			ic.violate([]int{e.Node}, "failed AP %d accepted at t=%.6f", e.Node, e.T)
 		}
 		if e.From >= 0 {
 			fromTTL, ok := ic.acceptTTL[e.From]
 			if !ok {
-				ic.violate("node %d accepted from %d, which never accepted", e.Node, e.From)
+				ic.violate([]int{e.Node, e.From}, "node %d accepted from %d, which never accepted", e.Node, e.From)
 			} else if e.TTL != fromTTL-1 {
-				ic.violate("node %d accepted TTL %d from node %d holding TTL %d: not a strict decrement",
+				ic.violate([]int{e.Node, e.From},
+					"node %d accepted TTL %d from node %d holding TTL %d: not a strict decrement",
 					e.Node, e.TTL, e.From, fromTTL)
 			}
 		}
@@ -196,23 +219,40 @@ func (ic *InvariantChecker) Probe(e ProbeEvent) {
 	case ProbeTransmit:
 		ic.transmits[e.Node]++
 		if _, ok := ic.acceptTTL[e.Node]; !ok {
-			ic.violate("node %d transmitted without ever accepting", e.Node)
+			ic.violate([]int{e.Node}, "node %d transmitted without ever accepting", e.Node)
 		}
 		if ic.down(e.Node, e.T) {
-			ic.violate("failed AP %d transmitted at t=%.6f", e.Node, e.T)
+			ic.violate([]int{e.Node}, "failed AP %d transmitted at t=%.6f", e.Node, e.T)
 		}
 		if e.TTL <= 0 {
-			ic.violate("node %d transmitted with TTL %d exhausted", e.Node, e.TTL)
+			ic.violate([]int{e.Node}, "node %d transmitted with TTL %d exhausted", e.Node, e.TTL)
 		}
 	case ProbeDeliver:
 		if _, ok := ic.acceptTTL[e.Node]; !ok {
-			ic.violate("delivery at AP %d without an accept", e.Node)
+			ic.violate([]int{e.Node}, "delivery at AP %d without an accept", e.Node)
 		}
 		if ic.down(e.Node, e.T) {
-			ic.violate("delivery to failed AP %d at t=%.6f", e.Node, e.T)
+			ic.violate([]int{e.Node}, "delivery to failed AP %d at t=%.6f", e.Node, e.T)
 		}
 	}
 }
 
-// Violations returns the recorded invariant breaches (nil when clean).
-func (ic *InvariantChecker) Violations() []string { return ic.violations }
+// Violations returns the recorded honest-node invariant breaches (nil when
+// clean), capped at maxViolations lines; when Total exceeds the cap, a
+// final summary line reports how many went unrecorded.
+func (ic *InvariantChecker) Violations() []string {
+	if ic.total > maxViolations {
+		return append(ic.violations[:maxViolations:maxViolations],
+			fmt.Sprintf("... and %d more honest violations (total %d)", ic.total-maxViolations, ic.total))
+	}
+	return ic.violations
+}
+
+// Total is the full count of honest-node violations, including those past
+// the recorded-report cap.
+func (ic *InvariantChecker) Total() int { return ic.total }
+
+// ByzantineViolations counts breaches attributed to declared-Byzantine
+// nodes — expected misbehavior under an Adversary, excluded from
+// Violations and Total.
+func (ic *InvariantChecker) ByzantineViolations() int { return ic.byzantine }

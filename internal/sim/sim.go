@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"math"
 	"math/rand"
+	"sort"
 
 	"citymesh/internal/fwd"
 	"citymesh/internal/geo"
@@ -134,6 +135,13 @@ type Config struct {
 	// (accepts, transmissions, deliveries) for invariant checking; see
 	// InvariantChecker. Must not retain the events beyond the call.
 	Probe func(ProbeEvent)
+	// Adversary assigns Byzantine misbehaviors to APs (see APBehavior);
+	// nil means every AP is honest. Composes with FailedAPs/Schedule: a
+	// down AP stays silent whatever its behavior.
+	Adversary *Adversary
+	// Defense is the honest receivers' sanity stack; the zero value is the
+	// undefended baseline.
+	Defense Defense
 }
 
 // DefaultConfig returns the evaluation defaults: 1 ms transmissions with up
@@ -195,6 +203,44 @@ type Result struct {
 	// LostToRange counts frames the radio model rejected (out of range or
 	// faded).
 	LostToRange int
+
+	// Adversary diagnostics: what the Byzantine APs did and what the
+	// defense stack caught. All zero when Config.Adversary is nil and
+	// Config.Defense is zero.
+
+	// CompromisedDeliveries counts receptions of the packet at Byzantine
+	// APs of the destination building — the message reached the building
+	// but only a liar holds it, so Delivered stays false for them.
+	CompromisedDeliveries int
+	// TaintedDeliveries counts destination-building receptions of a
+	// corrupted copy by honest APs: without TamperCheck the corruption is
+	// accepted (and poisons dedup against the genuine copy), but a
+	// corrupted payload is not a delivery.
+	TaintedDeliveries int
+	// TaintedAccepts counts nodes whose first (dedup-claiming) reception
+	// was a corrupted copy.
+	TaintedAccepts int
+	// GrayholeDrops counts policy-approved forwards suppressed by grayhole
+	// APs.
+	GrayholeDrops int
+	// ReplayedFrames counts replayer retransmissions (also in Broadcasts).
+	ReplayedFrames int
+	// ForgedBroadcasts counts transmissions of forged messages, by their
+	// injectors and by honest nodes relaying them. Not in Broadcasts: the
+	// legacy metric keeps meaning "transmissions of the real packet".
+	ForgedBroadcasts int
+	// ForgedAccepts counts first receptions of forged messages.
+	ForgedAccepts int
+	// RejectedTampered counts receptions dropped by Defense.TamperCheck.
+	RejectedTampered int
+	// RejectedTTL counts receptions dropped by Defense.MaxTTL.
+	RejectedTTL int
+	// RejectedRateLimited counts receptions dropped by the per-neighbor
+	// rate gate.
+	RejectedRateLimited int
+	// RejectedGeocast counts forged-geocast receptions dropped by
+	// Defense.MaxGeocastRadius.
+	RejectedGeocast int
 }
 
 // Overhead returns Broadcasts divided by the ideal minimum transmission
@@ -221,6 +267,12 @@ type event struct {
 	kind evKind
 	ap   int // acting AP: transmitter for evTransmit/evUnicast, receiver for evReceive
 	peer int // evUnicast: target AP; evReceive: sending AP
+	// msg selects the message: 0 is the real packet, k > 0 is forged
+	// message k-1 (spoofer/flooder injections propagate as their own
+	// waves).
+	msg int
+	// replay marks a replayer's stale retransmission of the real packet.
+	replay bool
 }
 
 type eventHeap []event
@@ -335,8 +387,48 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		lastArrival[i] = math.Inf(-1)
 	}
 
+	// Adversary and defense state. All of it is inert (no allocations on
+	// the hot path, no extra RNG draws) when no behaviors are assigned and
+	// no defense is enabled, preserving the historical event and RNG
+	// sequence byte-for-byte.
+	adv := cfg.Adversary
+	behavior := func(node int) APBehavior {
+		if node >= numAPs {
+			return BehaviorHonest // carriers are never Byzantine
+		}
+		return adv.BehaviorOf(node)
+	}
+	// tainted marks nodes whose accepted copy of the packet is corrupted
+	// (they accepted downstream of a corruptor); everything they forward
+	// is corrupted too.
+	var tainted []bool
+	if adv != nil {
+		tainted = make([]bool, total)
+	}
+	var gate *rateGate
+	if cfg.Defense.NeighborRate > 0 {
+		gate = newRateGate(cfg.Defense)
+	}
+	isTainted := func(node int) bool { return tainted != nil && tainted[node] }
+
 	// deliver marks a reception at AP ap.
 	deliver := func(ap, from int, t float64) {
+		// Receiver-side defense stack, applied to frames off the air (not
+		// the source's own injection): rate gate, TTL sanity, integrity.
+		if from >= 0 {
+			if gate != nil && !gate.allow(ap, from, t) {
+				res.RejectedRateLimited++
+				return
+			}
+			if cfg.Defense.MaxTTL > 0 && ttl[from] > int(cfg.Defense.MaxTTL) {
+				res.RejectedTTL++
+				return
+			}
+			if cfg.Defense.TamperCheck && isTainted(from) {
+				res.RejectedTampered++
+				return
+			}
+		}
 		// Interference approximation: a frame arriving hard on the heels
 		// of another at the same radio is lost in the collision.
 		if cfg.CollisionWindow > 0 && from >= 0 {
@@ -355,9 +447,25 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		if from >= 0 {
 			hops[ap] = hops[from] + 1
 			ttl[ap] = ttl[from] - 1
+			if isTainted(from) {
+				tainted[ap] = true
+			}
 		} else {
 			hops[ap] = 0
 			ttl[ap] = int(pkt.Header.TTL)
+		}
+		beh := behavior(ap)
+		switch beh {
+		case BehaviorTTLReset:
+			// The resetter rewrites its stored TTL upward; every frame it
+			// forwards carries the inflated value, which is exactly what
+			// the probe stream (and Defense.MaxTTL downstream) will see.
+			ttl[ap] = adv.resetTTL()
+		case BehaviorCorruptor:
+			tainted[ap] = true
+		}
+		if isTainted(ap) {
+			res.TaintedAccepts++
 		}
 		probe(ProbeAccept, ap, from, t, ttl[ap])
 		if ap >= numAPs {
@@ -384,14 +492,48 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			return
 		}
 		if inDst[ap] {
-			probe(ProbeDeliver, ap, -1, t, 0)
-			if !res.Delivered {
-				res.Delivered = true
-				res.DeliveryTime = t
-				res.DeliveryHops = hops[ap]
+			switch {
+			case beh != BehaviorHonest:
+				// The packet reached the destination building, but only a
+				// liar holds it: no delivery credit.
+				res.CompromisedDeliveries++
+			case isTainted(ap):
+				// An honest destination AP accepted the corrupted copy —
+				// and its dedup now suppresses the genuine one.
+				res.TaintedDeliveries++
+			default:
+				probe(ProbeDeliver, ap, -1, t, 0)
+				if !res.Delivered {
+					res.Delivered = true
+					res.DeliveryTime = t
+					res.DeliveryHops = hops[ap]
+				}
 			}
 		}
+		if beh == BehaviorBlackhole {
+			// Byzantine consume: silently eats the frame after (correctly)
+			// being counted as a compromised destination above.
+			return
+		}
 		if ttl[ap] <= 0 {
+			return
+		}
+		if beh == BehaviorReplayer {
+			// Schedule the stale-frame storm: retransmissions of the
+			// stored copy (frozen TTL, no decrement) until the horizon.
+			iv := adv.replayInterval()
+			for rt := t + iv; rt <= adv.replayHorizon(); rt += iv {
+				push(event{t: rt, kind: evTransmit, ap: ap, replay: true})
+			}
+		}
+		if beh == BehaviorCorruptor {
+			// Malicious forward: skip the conduit test entirely and
+			// rebroadcast the (now corrupted) frame — corruption spreads
+			// as far as TTL allows.
+			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
+			if cfg.RecordTranscript {
+				res.Transcript[ap].Forwarded = true
+			}
 			return
 		}
 		// Hand the policy the TTL a live AP would read off the wire: the
@@ -402,6 +544,14 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			ctx.TTL++
 		}
 		d := pol.OnReceive(ctx, ap, pkt, from)
+		if beh == BehaviorGrayhole && (d.Rebroadcast || len(d.NextHops) > 0) &&
+			rng.Float64() < adv.dropProb() {
+			// The grayhole quietly eats this forward; the transcript shows
+			// a reception with no transmission — the evidence mismatch the
+			// health layer keys on.
+			res.GrayholeDrops++
+			return
+		}
 		if d.Rebroadcast {
 			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
 			if cfg.RecordTranscript {
@@ -414,6 +564,74 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 				res.Transcript[ap].Forwarded = true
 			}
 		}
+	}
+
+	// Forged-traffic injection: spoofers and flooders start their own
+	// message waves on a fixed cadence (phase-jittered per injector) until
+	// the horizon. Scheduled before the source injection so forged state
+	// indices are stable regardless of how the real wave unfolds.
+	var forged []forgedMsg
+	if adv != nil {
+		var injectors []int
+		for ap, b := range adv.Behaviors {
+			if (b == BehaviorSpoofer || b == BehaviorFlooder) && ap >= 0 && ap < numAPs {
+				injectors = append(injectors, ap)
+			}
+		}
+		sort.Ints(injectors) // map order must not leak into the event stream
+		for _, ap := range injectors {
+			spoof := adv.Behaviors[ap] == BehaviorSpoofer
+			iv := 1 / adv.injectRate()
+			for ft := rng.Float64() * iv; ft <= adv.injectHorizon(); ft += iv {
+				forged = append(forged, forgedMsg{
+					spoof:  spoof,
+					radius: adv.spoofRadius(),
+					center: m.APs[ap].Pos,
+					ttl:    map[int]int{ap: adv.forgedTTL()},
+				})
+				push(event{t: ft, kind: evTransmit, ap: ap, msg: len(forged)})
+			}
+		}
+	}
+
+	// deliverForged processes a forged-message reception at node ap.
+	deliverForged := func(ap, from, msg int, t float64) {
+		fm := &forged[msg-1]
+		if gate != nil && !gate.allow(ap, from, t) {
+			res.RejectedRateLimited++
+			return
+		}
+		if fm.spoof && cfg.Defense.MaxGeocastRadius > 0 && fm.radius > cfg.Defense.MaxGeocastRadius {
+			res.RejectedGeocast++
+			return
+		}
+		senderTTL, ok := fm.ttl[from]
+		if !ok {
+			return // sender lost its state race; cannot happen in practice
+		}
+		if cfg.Defense.MaxTTL > 0 && senderTTL > int(cfg.Defense.MaxTTL) {
+			res.RejectedTTL++
+			return
+		}
+		if _, dup := fm.ttl[ap]; dup {
+			return
+		}
+		remaining := senderTTL - 1
+		fm.ttl[ap] = remaining
+		res.ForgedAccepts++
+		if cfg.Blackholes[ap] || behavior(ap) == BehaviorBlackhole {
+			return
+		}
+		if remaining <= 0 {
+			return
+		}
+		// Honest relaying of the forgery: flood frames flood; spoofed
+		// geocasts rebroadcast only inside the claimed disc — which is why
+		// an absurd claimed radius recruits the whole city.
+		if fm.spoof && m.APs[ap].Pos.Dist(fm.center) > fm.radius {
+			return
+		}
+		push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap, msg: msg})
 	}
 
 	// Inject at the source.
@@ -429,6 +647,34 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 		case evTransmit:
 			if down(e.ap, e.t) {
 				continue
+			}
+			if e.msg > 0 {
+				// Forged-message wave: its own flood, kept out of the real
+				// packet's Broadcasts/probe stream and invisible to mobile
+				// carriers (they store only the real packet).
+				res.ForgedBroadcasts++
+				arrival := e.t + cfg.TxDelay
+				pos := nodePos(e.ap, e.t)
+				m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
+					if n == e.ap {
+						return true
+					}
+					if down(n, arrival) {
+						return true
+					}
+					if !receives(radio, pos.Dist(p), rng) {
+						return true
+					}
+					if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
+						return true
+					}
+					push(event{t: arrival, kind: evReceive, ap: n, peer: e.ap, msg: e.msg})
+					return true
+				})
+				continue
+			}
+			if e.replay {
+				res.ReplayedFrames++
 			}
 			probe(ProbeTransmit, e.ap, -1, e.t, ttl[e.ap])
 			res.Broadcasts++
@@ -505,6 +751,10 @@ func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Confi
 			}
 			push(event{t: arrival, kind: evReceive, ap: e.peer, peer: e.ap})
 		case evReceive:
+			if e.msg > 0 {
+				deliverForged(e.ap, e.peer, e.msg, e.t)
+				continue
+			}
 			deliver(e.ap, e.peer, e.t)
 		}
 	}

@@ -22,6 +22,12 @@ var (
 	// ErrBadMobile rejects a mobile carrier with no path or negative
 	// timing parameters.
 	ErrBadMobile = errors.New("sim: Mobile needs a Path and non-negative IntervalS/HorizonS")
+	// ErrBadAdversary rejects an Adversary with an out-of-range knob or an
+	// unknown behavior value.
+	ErrBadAdversary = errors.New("sim: Adversary knobs must be non-negative, DropProb in [0, 1], behaviors known")
+	// ErrBadDefense rejects a Defense with a negative rate, burst, or
+	// geocast radius bound.
+	ErrBadDefense = errors.New("sim: Defense rates and radius must be >= 0")
 )
 
 // Validate checks the physically meaningless configurations a caller can
@@ -50,6 +56,23 @@ func (c Config) Validate() error {
 		if mb.Path == nil || mb.IntervalS < 0 || mb.HorizonS < 0 {
 			return fmt.Errorf("%w (mobile %d)", ErrBadMobile, i)
 		}
+	}
+	if a := c.Adversary; a != nil {
+		if a.DropProb < 0 || a.DropProb > 1 {
+			return fmt.Errorf("%w (DropProb %v)", ErrBadAdversary, a.DropProb)
+		}
+		if a.ReplayInterval < 0 || a.ReplayHorizon < 0 || a.ReplayBuffer < 0 ||
+			a.InjectRate < 0 || a.InjectHorizon < 0 || a.GeocastRadius < 0 {
+			return fmt.Errorf("%w (negative knob)", ErrBadAdversary)
+		}
+		for ap, b := range a.Behaviors {
+			if b >= numBehaviors {
+				return fmt.Errorf("%w (AP %d behavior %d)", ErrBadAdversary, ap, b)
+			}
+		}
+	}
+	if d := c.Defense; d.NeighborRate < 0 || d.NeighborBurst < 0 || d.MaxGeocastRadius < 0 {
+		return fmt.Errorf("%w", ErrBadDefense)
 	}
 	return nil
 }
