@@ -22,10 +22,12 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
 	"citymesh/internal/experiments"
+	"citymesh/internal/faults"
 	"citymesh/internal/geo"
 	"citymesh/internal/sim"
 	"citymesh/internal/trafficgen"
@@ -225,6 +227,24 @@ func TestWriteBenchJSON(t *testing.T) {
 		AdmissionRejectRate: rep.RejectRate(),
 	})
 
+	// metroscale: one full resilience cell on the 10^5-AP metro preset,
+	// network build included — the cost a CI smoke run pays end to end.
+	ms := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := runMetroCell(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name: "metroscale", Parallelism: 1,
+		NsPerOp:     ms.NsPerOp(),
+		AllocsPerOp: ms.AllocsPerOp(),
+		BytesPerOp:  ms.AllocedBytesPerOp(),
+		Speedup:     1,
+	})
+
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -234,6 +254,68 @@ func TestWriteBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote BENCH_sim.json (%d cores, gomaxprocs %d)", report.Cores, report.GoMaxProcs)
+}
+
+// runMetroCell executes the metroscale unit of work: a single-fraction
+// uniform-failure resilience cell on the hidden metro preset (~10^5 APs),
+// including city generation, AP placement, and engine construction.
+func runMetroCell() ([]experiments.ResilienceRow, error) {
+	return experiments.Resilience(experiments.ResilienceConfig{
+		Cities:      []string{"metro"},
+		Mode:        faults.ModeUniform,
+		Fracs:       []float64{0.3},
+		Pairs:       3,
+		Seed:        1,
+		Parallelism: 1,
+	})
+}
+
+// TestMetroscaleSmoke is the CI regression gate on metro-scale wall time:
+// one metro resilience cell must finish inside 10 seconds and inside 2x
+// the committed BENCH_sim.json metroscale baseline. Gated behind
+// CITYMESH_METRO=1 so the ordinary test suite stays fast:
+//
+//	CITYMESH_METRO=1 go test -run TestMetroscaleSmoke
+func TestMetroscaleSmoke(t *testing.T) {
+	if os.Getenv("CITYMESH_METRO") == "" {
+		t.Skip("set CITYMESH_METRO=1 to run the metro-scale smoke benchmark")
+	}
+
+	raw, err := os.ReadFile("BENCH_sim.json")
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	var baseline benchReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parse committed baseline: %v", err)
+	}
+	var baseNs int64
+	for _, e := range baseline.Benchmarks {
+		if e.Name == "metroscale" {
+			baseNs = e.NsPerOp
+		}
+	}
+	if baseNs <= 0 {
+		t.Fatal("BENCH_sim.json has no metroscale baseline; regenerate it with CITYMESH_BENCH=1")
+	}
+
+	start := time.Now()
+	rows, err := runMetroCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if len(rows) == 0 || rows[0].Pairs == 0 {
+		t.Fatalf("metro cell ran no pairs: %+v", rows)
+	}
+	t.Logf("metro cell: %v (baseline %v, limit %v)",
+		elapsed, time.Duration(baseNs), 2*time.Duration(baseNs))
+	if elapsed > 10*time.Second {
+		t.Errorf("metro cell took %v, budget 10s", elapsed)
+	}
+	if elapsed > 2*time.Duration(baseNs) {
+		t.Errorf("metro cell took %v, >2x the committed baseline %v", elapsed, time.Duration(baseNs))
+	}
 }
 
 // benchTrafficSetup builds the small fixed-load scenario the trafficgen

@@ -63,6 +63,19 @@ type SimConfig = sim.Config
 // SimResult re-exports the simulator outcome.
 type SimResult = sim.Result
 
+// SimEngine re-exports the reusable simulation engine. Build one per
+// (mesh, city, policy) — or take the Network's shared instance via
+// Network.Engine() — and call Run repeatedly; warm runs draw pooled
+// scratch and allocate nothing.
+type SimEngine = sim.Engine
+
+// NodeSet re-exports the dense AP-index bitset the simulator and fault
+// injectors use for failure and blackhole sets.
+type NodeSet = sim.NodeSet
+
+// NewNodeSet returns an empty NodeSet with capacity for indices [0, n).
+func NewNodeSet(n int) NodeSet { return sim.NewNodeSet(n) }
+
 // City re-exports the planar city map.
 type City = osm.City
 

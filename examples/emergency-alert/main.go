@@ -56,7 +56,11 @@ func main() {
 
 	cfg := sim.DefaultConfig()
 	cfg.RecordTranscript = true
-	res := sim.Run(net.Mesh, net.City, routing.Flood{}, pkt, cfg)
+	eng := sim.NewEngine(net.Mesh, net.City, routing.Flood{})
+	res, err := eng.Run(pkt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("flooded to %d of %d APs with %d broadcasts in %.0f ms (sim time)\n",
 		res.APsReached, net.Mesh.NumAPs(), res.Broadcasts, maxReceive(res)*1000)
 

@@ -16,8 +16,6 @@ import (
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
 	"citymesh/internal/postbox"
-	"citymesh/internal/routing"
-	"citymesh/internal/sim"
 )
 
 // TestFullPipelineOSMToDelivery drives the production path: generate a
@@ -151,7 +149,10 @@ func TestFullPipelinePostboxRoundTrip(t *testing.T) {
 	pkt.Header.Flags |= packet.FlagPostbox | packet.FlagEncrypted
 	addr := bob.Address()
 	copy(pkt.Header.Postbox[:], addr[:])
-	res := sim.Run(net.Mesh, net.City, cityMeshPolicy(), pkt, citymesh.DefaultSimConfig())
+	res, err := net.Engine().Run(pkt, citymesh.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !res.Delivered {
 		t.Skip("send leg failed on this seed")
 	}
@@ -179,7 +180,3 @@ func TestFullPipelinePostboxRoundTrip(t *testing.T) {
 		t.Errorf("plain=%q sender=%s", plain, sender.Address())
 	}
 }
-
-// cityMeshPolicy gives the integration tests the conduit policy without a
-// second import path for it.
-func cityMeshPolicy() sim.Policy { return routing.NewCityMesh() }

@@ -98,7 +98,10 @@ func Geocast(n *core.Network, srcBuilding int, center geo.Point, radius float64,
 	if !simCfg.RecordTranscript {
 		simCfg.RecordTranscript = true
 	}
-	res := sim.Run(n.Mesh, n.City, NewGeocastPolicy(), pkt, simCfg)
+	res, err := n.Engine().RunPolicy(NewGeocastPolicy(), pkt, simCfg)
+	if err != nil {
+		return GeocastResult{}, err
+	}
 
 	out := GeocastResult{Sim: res, Broadcasts: res.Broadcasts}
 	for id, ap := range n.Mesh.APs {

@@ -6,7 +6,6 @@ import (
 
 	"citymesh/internal/core"
 	"citymesh/internal/postbox"
-	"citymesh/internal/routing"
 	"citymesh/internal/sim"
 )
 
@@ -119,7 +118,10 @@ func Retrieve(n *core.Network, store *postbox.Store, id *postbox.Identity,
 	if err != nil {
 		return out, err
 	}
-	res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+	res, err := n.Engine().Run(pkt, simCfg)
+	if err != nil {
+		return out, err
+	}
 	out.Broadcasts += res.Broadcasts
 	out.PollDelivered = res.Delivered
 	if !res.Delivered {
@@ -142,7 +144,10 @@ func Retrieve(n *core.Network, store *postbox.Store, id *postbox.Identity,
 	if err != nil {
 		return out, err
 	}
-	rres := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), rpkt, simCfg)
+	rres, err := n.Engine().Run(rpkt, simCfg)
+	if err != nil {
+		return out, err
+	}
 	out.Broadcasts += rres.Broadcasts
 	out.ReplyDelivered = rres.Delivered
 	if rres.Delivered {

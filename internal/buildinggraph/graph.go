@@ -12,9 +12,9 @@
 package buildinggraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"citymesh/internal/geo"
 	"citymesh/internal/osm"
@@ -58,6 +58,12 @@ type Graph struct {
 	// centroids indexes building centroids for nearest-building queries.
 	centroids *geo.Grid
 	numEdges  int
+	// scratch pools per-call Dijkstra state (dist/prev/done arrays and the
+	// frontier heap's backing array) so repeated planning queries — the
+	// dominant cost of the resilience and multipath sweeps — allocate
+	// nothing per call. Safe for concurrent queries: each call takes its
+	// own scratch from the pool.
+	scratch sync.Pool
 }
 
 // Build constructs the building graph. Candidate pairs come from a spatial
@@ -191,13 +197,78 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// pqPush and pqPop are a typed binary min-heap on dist, replicating
+// container/heap's sift order exactly (append+up, swap-root-to-tail+down)
+// so pop order — including among equal keys — is unchanged from the old
+// interface-based heap while the per-operation boxing allocation is gone.
+func pqPush(h *[]pqItem, it pqItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
 
-func (h pq) Len() int           { return len(h) }
-func (h pq) Less(i, j int) bool { return h[i].dist < h[j].dist }
-func (h pq) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *pq) Push(x any)        { *h = append(*h, x.(pqItem)) }
-func (h *pq) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func pqPop(h *[]pqItem) pqItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].dist < s[j].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
+	return it
+}
+
+// dijkstraScratch is the pooled per-call state of shortestPathPenalized.
+type dijkstraScratch struct {
+	dist []float64
+	prev []int32
+	done []bool
+	heap []pqItem
+}
+
+// getScratch takes a scratch sized for n vertices from the pool, reset for
+// a fresh run.
+func (g *Graph) getScratch(n int) *dijkstraScratch {
+	s, _ := g.scratch.Get().(*dijkstraScratch)
+	if s == nil || cap(s.dist) < n {
+		s = &dijkstraScratch{
+			dist: make([]float64, n),
+			prev: make([]int32, n),
+			done: make([]bool, n),
+		}
+	}
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.done = s.done[:n]
+	for i := range s.dist {
+		s.dist[i] = math.Inf(1)
+		s.prev[i] = -1
+	}
+	clear(s.done)
+	s.heap = s.heap[:0]
+	return s
+}
 
 // edgeKey canonicalizes an undirected edge for the penalty map.
 func edgeKey(a, b int) [2]int32 {
@@ -220,17 +291,13 @@ func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64
 	if src == dst {
 		return []int{src}, 0, nil
 	}
-	dist := make([]float64, n)
-	prev := make([]int32, n)
-	done := make([]bool, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
+	sc := g.getScratch(n)
+	defer g.scratch.Put(sc)
+	dist, prev, done := sc.dist, sc.prev, sc.done
 	dist[src] = 0
-	h := &pq{{v: int32(src)}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
+	pqPush(&sc.heap, pqItem{v: int32(src)})
+	for len(sc.heap) > 0 {
+		it := pqPop(&sc.heap)
 		v := int(it.v)
 		if done[v] {
 			continue
@@ -256,7 +323,7 @@ func (g *Graph) shortestPathPenalized(src, dst int, penalty map[[2]int32]float64
 			if nd := it.dist + w; nd < dist[e.to] {
 				dist[e.to] = nd
 				prev[e.to] = int32(v)
-				heap.Push(h, pqItem{v: e.to, dist: nd})
+				pqPush(&sc.heap, pqItem{v: e.to, dist: nd})
 			}
 		}
 	}

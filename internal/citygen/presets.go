@@ -15,11 +15,17 @@ func Preset(name string) (Spec, bool) {
 	return s, ok
 }
 
-// PresetNames returns all preset names in sorted order.
+// PresetNames returns all preset names in sorted order. The metro-scale
+// stress preset is deliberately absent: experiments that default to "all
+// cities" iterate this list, and a 10^5-AP city would turn every default
+// sweep into a benchmark run. Resolve it explicitly with Preset("metro").
 func PresetNames() []string {
 	m := presets()
 	names := make([]string, 0, len(m))
 	for n := range m {
+		if n == "metro" {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -104,6 +110,14 @@ func presets() map[string]Spec {
 	a.DowntownRect = geo.Rect{Min: geo.Pt(1300, 1400), Max: geo.Pt(2000, 2000)}
 	a.Rivers = []RiverSpec{{Start: geo.Pt(0, 1150), End: geo.Pt(3200, 1000), Width: 150}}
 	m["austin"] = a
+
+	// metro: the metro-scale stress preset — downtown density across the
+	// whole ~50 km² extent, yielding on the order of 10^5 APs. It exists
+	// for the metroscale benchmark and engine stress tests, and is hidden
+	// from PresetNames (see there).
+	me := base("metro", 108, 7500, 6750)
+	me.DowntownRect = geo.Rect{Min: geo.Pt(0, 0), Max: geo.Pt(7500, 6750)}
+	m["metro"] = me
 
 	return m
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"citymesh/internal/buildinggraph"
 	"citymesh/internal/conduit"
-	"citymesh/internal/routing"
 	"citymesh/internal/sim"
 )
 
@@ -81,7 +80,10 @@ func (n *Network) MultipathSendPenalized(src, dst int, payload []byte, k int, si
 		if err != nil {
 			return out, err
 		}
-		res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+		res, err := n.Engine().Run(pkt, simCfg)
+		if err != nil {
+			return out, err
+		}
 		out.Results = append(out.Results, res)
 		out.TotalBroadcasts += res.Broadcasts
 		if res.Delivered {

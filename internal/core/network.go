@@ -85,6 +85,10 @@ type Network struct {
 	// destinations (see SendEventually); lazily created by ParkedStore.
 	parkedOnce sync.Once
 	parked     *postbox.Store
+	// engine is the shared per-network simulation engine (see Engine);
+	// lazily built so networks that never simulate pay nothing.
+	engineOnce sync.Once
+	engine     *sim.Engine
 }
 
 // NewNetwork builds the building graph and AP mesh for an already-extracted
@@ -277,6 +281,21 @@ func (s SendResult) Overhead() float64 {
 	return s.Sim.Overhead(s.IdealTransmissions)
 }
 
+// Engine returns the network's shared simulation engine: one
+// sim.Engine per Network, built lazily on first use, backed by one
+// kernel-backed CityMesh policy. Every ladder rung, experiment sweep,
+// and application send over this Network reuses it, so the per-mesh
+// struct-of-arrays precomputation and pooled per-run scratch are paid
+// once. Safe for concurrent use; when runs share the engine
+// concurrently, per-run Result.Decisions deltas are approximate (see
+// sim.DecisionCounter) while every other Result field stays exact.
+func (n *Network) Engine() *sim.Engine {
+	n.engineOnce.Do(func() {
+		n.engine = sim.NewEngine(n.Mesh, n.City, routing.NewCityMesh())
+	})
+	return n.engine
+}
+
 // Send plans a route from src to dst, encodes the packet, and simulates its
 // propagation under the CityMesh conduit policy.
 func (n *Network) Send(src, dst int, payload []byte, simCfg sim.Config) (SendResult, error) {
@@ -288,7 +307,10 @@ func (n *Network) Send(src, dst int, payload []byte, simCfg sim.Config) (SendRes
 	if err != nil {
 		return SendResult{}, err
 	}
-	res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+	res, err := n.Engine().Run(pkt, simCfg)
+	if err != nil {
+		return SendResult{}, err
+	}
 	out := SendResult{Route: r, Packet: pkt, Sim: res, IdealTransmissions: -1}
 	if ideal, err := n.Mesh.MinTransmissions(src, dst); err == nil {
 		out.IdealTransmissions = ideal

@@ -311,7 +311,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			if err != nil {
 				return out, err
 			}
-			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
+			res, err := n.Engine().Run(pkt, attemptSim(len(out.Attempts)))
+			if err != nil {
+				return out, err
+			}
 			if try == 0 {
 				out.FirstAttempt = SendResult{Route: route, Packet: pkt, Sim: res, IdealTransmissions: -1}
 				if ideal, err := n.Mesh.MinTransmissions(src, dst); err == nil {
@@ -353,7 +356,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 				record(RungWiden, wait, 0, false, 0, err.Error())
 				continue
 			}
-			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, attemptSim(len(out.Attempts)))
+			res, err := n.Engine().Run(pkt, attemptSim(len(out.Attempts)))
+			if err != nil {
+				return out, err
+			}
 			record(RungWiden, wait, res.Broadcasts, res.Delivered, res.DeliveryTime, "")
 			n.observeHealth(hm, path, res.Delivered)
 			if res.Delivered {
@@ -421,7 +427,10 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 			},
 			Payload: payload,
 		}
-		res := sim.Run(n.Mesh, n.City, routing.Flood{}, pkt, attemptSim(len(out.Attempts)))
+		res, err := n.Engine().RunPolicy(routing.Flood{}, pkt, attemptSim(len(out.Attempts)))
+		if err != nil {
+			return out, err
+		}
 		record(RungFlood, wait, res.Broadcasts, res.Delivered, res.DeliveryTime, "")
 	}
 	if hm != nil && !out.Delivered {

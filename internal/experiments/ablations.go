@@ -248,6 +248,9 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount, p
 		return row
 	}
 
+	// One shared engine for the whole sweep: each policy is injected per
+	// run via RunPolicy, and concurrent tasks draw scratch from its pool.
+	eng := n.Engine()
 	var rows []AblationRow
 	for _, pol := range policies {
 		pol := pol
@@ -263,7 +266,10 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount, p
 			}
 			simCfg := sim.DefaultConfig()
 			simCfg.Seed = runner.TaskSeed(seed, i)
-			res := sim.Run(n.Mesh, n.City, pol, pkt, simCfg)
+			res, err := eng.RunPolicy(pol, pkt, simCfg)
+			if err != nil {
+				return outcome{}
+			}
 			o := outcome{ran: true, delivered: res.Delivered, bcasts: float64(res.Broadcasts)}
 			if res.Delivered {
 				if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
@@ -275,12 +281,14 @@ func BaselineComparison(cityName string, scale float64, seed int64, pairCount, p
 		rows = append(rows, fold(pol.Name(), outs))
 	}
 
-	// AODV cost model: per-message route discovery + unicast data.
+	// AODV cost model: per-message route discovery + unicast data. The
+	// RREQ flood ignores the engine's policy, so the shared engine serves
+	// here too via RunPolicy inside AODVDiscoverEngine.
 	outs := runner.Map(par, len(pairs), func(i int) outcome {
 		p := pairs[i]
 		simCfg := sim.DefaultConfig()
 		simCfg.Seed = runner.TaskSeed(seed, i)
-		cost := routing.AODVDiscover(n.Mesh, n.City, p[0], p[1], simCfg)
+		cost := routing.AODVDiscoverEngine(eng, p[0], p[1], simCfg)
 		o := outcome{ran: true, delivered: cost.Delivered, bcasts: float64(cost.Total())}
 		if cost.Delivered {
 			if ideal, err := n.Mesh.MinTransmissions(p[0], p[1]); err == nil && ideal > 0 {
@@ -318,9 +326,12 @@ func FailureInjection(cityName string, scale float64, seed int64, fracs []float6
 		return nil, err
 	}
 
+	eng := n.Engine()
 	rows := make([]AblationRow, 0, len(fracs))
 	for _, f := range fracs {
-		failed := failSet(n.Mesh.NumAPs(), f, seed)
+		// The failure set is converted to a bitset once per fraction so the
+		// inner runs share one immutable NodeSet instead of a map each.
+		failed := sim.NodeSetFromMap(failSet(n.Mesh.NumAPs(), f, seed))
 		type outcome struct {
 			ran, delivered bool
 			bcasts         float64
@@ -337,8 +348,11 @@ func FailureInjection(cityName string, scale float64, seed int64, fracs []float6
 			}
 			simCfg := sim.DefaultConfig()
 			simCfg.Seed = runner.TaskSeed(seed, i)
-			simCfg.FailedAPs = failed
-			res := sim.Run(n.Mesh, n.City, routing.NewCityMesh(), pkt, simCfg)
+			simCfg.FailedSet = failed
+			res, err := eng.Run(pkt, simCfg)
+			if err != nil {
+				return outcome{}
+			}
 			return outcome{ran: true, delivered: res.Delivered, bcasts: float64(res.Broadcasts)}
 		})
 		row := AblationRow{Label: fmt.Sprintf("fail=%.0f%%", 100*f)}

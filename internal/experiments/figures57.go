@@ -109,7 +109,10 @@ func Figure7(cityName string, scale float64, seed int64, par int, w io.Writer) (
 	simCfg := sim.DefaultConfig()
 	simCfg.Seed = seed
 	simCfg.RecordTranscript = true
-	res := sim.Run(n.Mesh, n.City, newCityMeshPolicy(), pkt, simCfg)
+	res, err := n.Engine().Run(pkt, simCfg)
+	if err != nil {
+		return Figure7Result{}, err
+	}
 
 	conduits, err := route.Conduits(n.City)
 	if err != nil {

@@ -6,15 +6,9 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
-	"citymesh/internal/routing"
 	"citymesh/internal/runner"
-	"citymesh/internal/sim"
 	"citymesh/internal/stats"
 )
-
-// newCityMeshPolicy indirection keeps the experiments package's routing
-// dependency in one place.
-func newCityMeshPolicy() sim.Policy { return routing.NewCityMesh() }
 
 // HeaderSizeResult reproduces the paper's §4 compressed-header result:
 // "in a typical city simulation, the median and 90%ile packet header for

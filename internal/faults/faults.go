@@ -104,17 +104,30 @@ type Injection struct {
 	// Mode records which injector produced this.
 	Mode Mode
 	// Failed is the static set of APs down from t = 0, sim.Config-ready.
+	// The static injectors fill both this legacy map form and FailedSet;
+	// hand-built injections may populate either.
 	Failed map[int]bool
+	// FailedSet is the same static set as a sim.NodeSet bitset — the
+	// allocation-free form the metro-scale engine consumes directly.
+	FailedSet sim.NodeSet
 	// Schedule is the time-varying model (ModeChurn only), else nil.
 	Schedule sim.FailureSchedule
 	// Desc is a human-readable summary for experiment tables.
 	Desc string
 }
 
-// NumFailed returns the static failure count.
-func (inj Injection) NumFailed() int { return len(inj.Failed) }
+// NumFailed returns the static failure count, from whichever of the two
+// set forms is populated.
+func (inj Injection) NumFailed() int {
+	if len(inj.Failed) > 0 {
+		return len(inj.Failed)
+	}
+	return inj.FailedSet.Len()
+}
 
-// Apply installs the injection onto a simulator config.
+// Apply installs the injection onto a simulator config. Both set forms
+// are installed; the engine unions them, so an injection carrying one,
+// the other, or both behaves identically.
 func (inj Injection) Apply(cfg *sim.Config) {
 	if len(inj.Failed) > 0 {
 		if cfg.FailedAPs == nil {
@@ -123,6 +136,26 @@ func (inj Injection) Apply(cfg *sim.Config) {
 		for ap := range inj.Failed {
 			cfg.FailedAPs[ap] = true
 		}
+	}
+	if len(inj.FailedSet) > 0 {
+		cfg.FailedSet = cfg.FailedSet.Union(inj.FailedSet)
+	}
+	if inj.Schedule != nil {
+		cfg.Schedule = inj.Schedule
+	}
+}
+
+// ApplySet installs the injection using only the bitset form: no map is
+// created or mutated, so repeated sim runs over one injection stay
+// allocation-free. Injections carrying only the legacy map are converted
+// once here.
+func (inj Injection) ApplySet(cfg *sim.Config) {
+	set := inj.FailedSet
+	if len(set) == 0 && len(inj.Failed) > 0 {
+		set = sim.NodeSetFromMap(inj.Failed)
+	}
+	if len(set) > 0 {
+		cfg.FailedSet = cfg.FailedSet.Union(set)
 	}
 	if inj.Schedule != nil {
 		cfg.Schedule = inj.Schedule
@@ -171,13 +204,16 @@ func injectUniform(m *mesh.Mesh, cfg Config) (Injection, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	perm := rng.Perm(n)
 	failed := make(map[int]bool, kill)
+	set := sim.NewNodeSet(n)
 	for _, ap := range perm[:kill] {
 		failed[ap] = true
+		set = set.Add(ap)
 	}
 	return Injection{
-		Mode:   ModeUniform,
-		Failed: failed,
-		Desc:   fmt.Sprintf("uniform: %d/%d APs down (p=%.2f)", kill, n, cfg.Frac),
+		Mode:      ModeUniform,
+		Failed:    failed,
+		FailedSet: set,
+		Desc:      fmt.Sprintf("uniform: %d/%d APs down (p=%.2f)", kill, n, cfg.Frac),
 	}, nil
 }
 
@@ -205,14 +241,17 @@ func injectDisk(m *mesh.Mesh, city *osm.City, cfg Config) (Injection, error) {
 		return order[i].ap < order[j].ap
 	})
 	failed := make(map[int]bool, kill)
+	set := sim.NewNodeSet(n)
 	radius := 0.0
 	for _, od := range order[:kill] {
 		failed[od.ap] = true
+		set = set.Add(od.ap)
 		radius = od.d
 	}
 	return Injection{
-		Mode:   ModeDisk,
-		Failed: failed,
+		Mode:      ModeDisk,
+		Failed:    failed,
+		FailedSet: set,
 		Desc: fmt.Sprintf("disk: %d/%d APs down within %.0f m of %v (p=%.2f)",
 			kill, n, radius, center, cfg.Frac),
 	}, nil
@@ -223,15 +262,18 @@ func injectPolygon(m *mesh.Mesh, cfg Config) (Injection, error) {
 		return Injection{}, fmt.Errorf("faults: polygon mode needs >= 3 vertices")
 	}
 	failed := make(map[int]bool)
+	set := sim.NewNodeSet(m.NumAPs())
 	for i := range m.APs {
 		if cfg.Polygon.Contains(m.APs[i].Pos) {
 			failed[i] = true
+			set = set.Add(i)
 		}
 	}
 	return Injection{
-		Mode:   ModePolygon,
-		Failed: failed,
-		Desc:   fmt.Sprintf("polygon: %d/%d APs down inside outage area", len(failed), m.NumAPs()),
+		Mode:      ModePolygon,
+		Failed:    failed,
+		FailedSet: set,
+		Desc:      fmt.Sprintf("polygon: %d/%d APs down inside outage area", len(failed), m.NumAPs()),
 	}, nil
 }
 
@@ -264,14 +306,17 @@ func injectFlood(m *mesh.Mesh, city *osm.City, cfg Config) (Injection, error) {
 		return order[i].ap < order[j].ap
 	})
 	failed := make(map[int]bool, kill)
+	set := sim.NewNodeSet(n)
 	reach := 0.0
 	for _, od := range order[:kill] {
 		failed[od.ap] = true
+		set = set.Add(od.ap)
 		reach = od.d
 	}
 	return Injection{
-		Mode:   ModeFlood,
-		Failed: failed,
+		Mode:      ModeFlood,
+		Failed:    failed,
+		FailedSet: set,
 		Desc: fmt.Sprintf("flood: %d/%d APs down within %.0f m of water (p=%.2f)",
 			kill, n, reach, cfg.Frac),
 	}, nil
@@ -285,6 +330,7 @@ func injectFlood(m *mesh.Mesh, city *osm.City, cfg Config) (Injection, error) {
 // its time-to-heal measurements.
 type RecoverySchedule struct {
 	failed    map[int]bool
+	failedSet sim.NodeSet
 	base      sim.FailureSchedule
 	recoverAt float64
 }
@@ -300,7 +346,7 @@ func (r *RecoverySchedule) Down(ap int, t float64) bool {
 	if t >= r.recoverAt {
 		return false
 	}
-	if r.failed[ap] {
+	if r.failed[ap] || r.failedSet.Contains(ap) {
 		return true
 	}
 	return r.base != nil && r.base.Down(ap, t)
@@ -317,8 +363,10 @@ func (r *RecoverySchedule) RecoverAt() float64 { return r.recoverAt }
 func (inj Injection) WithRecovery(recoverAt float64) Injection {
 	out := inj
 	out.Failed = nil
+	out.FailedSet = nil
 	out.Schedule = &RecoverySchedule{
 		failed:    inj.Failed,
+		failedSet: inj.FailedSet,
 		base:      inj.Schedule,
 		recoverAt: recoverAt,
 	}

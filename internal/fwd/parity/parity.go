@@ -122,13 +122,19 @@ func Run(sc Scenario) (Result, error) {
 	}
 	res.SourceAP = srcAP
 
-	// World A: the discrete-event simulator in its noise-free setting.
-	simRes := sim.Run(net.Mesh, net.City, routing.NewCityMesh(), pkt, sim.Config{
+	// World A: the discrete-event simulator in its noise-free setting. The
+	// harness builds its own engine with a fresh kernel-backed policy so
+	// the decision tally diffed below covers exactly this run.
+	eng := sim.NewEngine(net.Mesh, net.City, routing.NewCityMesh())
+	simRes, err := eng.Run(pkt, sim.Config{
 		TxDelay:          0.001,
 		FailedAPs:        inj.Failed,
 		Seed:             1,
 		RecordTranscript: true,
 	})
+	if err != nil {
+		return res, fmt.Errorf("parity %s: sim run: %w", sc.Name, err)
+	}
 	if simRes.SourceAP != srcAP {
 		return res, fmt.Errorf("parity %s: sim injected at AP %d, expected %d", sc.Name, simRes.SourceAP, srcAP)
 	}

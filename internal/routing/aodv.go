@@ -28,8 +28,17 @@ type AODVCost struct {
 func (c AODVCost) Total() int { return c.RREQBroadcasts + c.RREPUnicasts + c.DataUnicasts }
 
 // AODVDiscover computes the AODV cost model for one src→dst building pair
-// by running a flood simulation for the RREQ and a BFS for the path.
+// by running a flood simulation for the RREQ and a BFS for the path. It
+// builds a throwaway engine per call; sweeps over many pairs should use
+// AODVDiscoverEngine with one shared engine instead.
 func AODVDiscover(m *mesh.Mesh, city *osm.City, src, dst int, cfg sim.Config) AODVCost {
+	return AODVDiscoverEngine(sim.NewEngine(m, city, Flood{}), src, dst, cfg)
+}
+
+// AODVDiscoverEngine is AODVDiscover over a prebuilt engine, so sweeps
+// amortize the per-mesh precomputation and pooled scratch across pairs.
+// The engine's own policy is ignored: the RREQ always floods.
+func AODVDiscoverEngine(eng *sim.Engine, src, dst int, cfg sim.Config) AODVCost {
 	pkt := &packet.Packet{
 		Header: packet.Header{
 			TTL:       packet.DefaultTTL,
@@ -37,12 +46,17 @@ func AODVDiscover(m *mesh.Mesh, city *osm.City, src, dst int, cfg sim.Config) AO
 			Waypoints: []uint32{uint32(src), uint32(dst)},
 		},
 	}
-	res := sim.Run(m, city, Flood{}, pkt, cfg)
+	res, err := eng.RunPolicy(Flood{}, pkt, cfg)
+	if err != nil {
+		// An uninjectable pair discovers nothing; the cost model reports an
+		// undelivered zero-cost discovery, as the flood sim always did.
+		return AODVCost{}
+	}
 	cost := AODVCost{Delivered: res.Delivered, RREQBroadcasts: res.Broadcasts}
 	if !res.Delivered {
 		return cost
 	}
-	hops, err := m.MinTransmissions(src, dst)
+	hops, err := eng.Mesh().MinTransmissions(src, dst)
 	if err != nil {
 		// Flood delivered but BFS cannot: impossible by construction, but
 		// degrade gracefully.

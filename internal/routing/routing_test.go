@@ -86,11 +86,22 @@ func testSetup(t testing.TB, seed int64) (*osm.City, *buildinggraph.Graph, *mesh
 	return city, g, m
 }
 
+// runSim executes one run on a throwaway engine, failing the test if the
+// run never started.
+func runSim(t testing.TB, m *mesh.Mesh, city *osm.City, pol sim.Policy, pkt *packet.Packet, cfg sim.Config) sim.Result {
+	t.Helper()
+	res, err := sim.NewEngine(m, city, pol).Run(pkt, cfg)
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+	return res
+}
+
 func TestCityMeshDelivers(t *testing.T) {
 	city, g, m := testSetup(t, 51)
 	src, dst := reachablePair(t, city, g, m, 1)
 	pkt := buildPacket(t, city, g, src, dst, 50)
-	res := sim.Run(m, city, NewCityMesh(), pkt, sim.DefaultConfig())
+	res := runSim(t, m, city, NewCityMesh(), pkt, sim.DefaultConfig())
 	if !res.Delivered {
 		t.Fatalf("CityMesh failed to deliver %d->%d", src, dst)
 	}
@@ -103,7 +114,7 @@ func TestFloodDelivers(t *testing.T) {
 	city, g, m := testSetup(t, 52)
 	src, dst := reachablePair(t, city, g, m, 2)
 	pkt := buildPacket(t, city, g, src, dst, 50)
-	res := sim.Run(m, city, Flood{}, pkt, sim.DefaultConfig())
+	res := runSim(t, m, city, Flood{}, pkt, sim.DefaultConfig())
 	if !res.Delivered {
 		t.Fatal("flooding must deliver any reachable pair")
 	}
@@ -113,8 +124,8 @@ func TestCityMeshCheaperThanFlood(t *testing.T) {
 	city, g, m := testSetup(t, 53)
 	src, dst := reachablePair(t, city, g, m, 3)
 	pkt := buildPacket(t, city, g, src, dst, 50)
-	cm := sim.Run(m, city, NewCityMesh(), pkt, sim.DefaultConfig())
-	fl := sim.Run(m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
+	cm := runSim(t, m, city, NewCityMesh(), pkt, sim.DefaultConfig())
+	fl := runSim(t, m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
 	if !cm.Delivered || !fl.Delivered {
 		t.Skipf("delivery cm=%v fl=%v", cm.Delivered, fl.Delivered)
 	}
@@ -130,7 +141,7 @@ func TestCityMeshOnlyConduitAPsForward(t *testing.T) {
 	pkt := buildPacket(t, city, g, src, dst, 50)
 	cfg := sim.DefaultConfig()
 	cfg.RecordTranscript = true
-	res := sim.Run(m, city, NewCityMesh(), pkt, cfg)
+	res := runSim(t, m, city, NewCityMesh(), pkt, cfg)
 
 	wps := make([]int, len(pkt.Header.Waypoints))
 	for i, w := range pkt.Header.Waypoints {
@@ -160,8 +171,8 @@ func TestGossipBetweenCityMeshAndFlood(t *testing.T) {
 	city, g, m := testSetup(t, 55)
 	src, dst := reachablePair(t, city, g, m, 5)
 	pkt := buildPacket(t, city, g, src, dst, 50)
-	fl := sim.Run(m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
-	go65 := sim.Run(m, city, Gossip{P: 0.65}, pkt.Clone(), sim.DefaultConfig())
+	fl := runSim(t, m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
+	go65 := runSim(t, m, city, Gossip{P: 0.65}, pkt.Clone(), sim.DefaultConfig())
 	if go65.Broadcasts >= fl.Broadcasts {
 		t.Errorf("gossip broadcasts %d >= flood %d", go65.Broadcasts, fl.Broadcasts)
 	}
@@ -171,11 +182,11 @@ func TestGreedyGeoUnicast(t *testing.T) {
 	city, g, m := testSetup(t, 56)
 	src, dst := reachablePair(t, city, g, m, 6)
 	pkt := buildPacket(t, city, g, src, dst, 50)
-	res := sim.Run(m, city, GreedyGeo{Fallback: true}, pkt, sim.DefaultConfig())
+	res := runSim(t, m, city, GreedyGeo{Fallback: true}, pkt, sim.DefaultConfig())
 	// Greedy may fail at voids; but when it delivers, its broadcast count
 	// must be far below flooding (it is unicast).
 	if res.Delivered {
-		fl := sim.Run(m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
+		fl := runSim(t, m, city, Flood{}, pkt.Clone(), sim.DefaultConfig())
 		if res.Broadcasts >= fl.Broadcasts {
 			t.Errorf("greedy %d >= flood %d", res.Broadcasts, fl.Broadcasts)
 		}
@@ -205,7 +216,7 @@ func TestGreedyGeoPureDropsAtVoid(t *testing.T) {
 	pkt := &packet.Packet{Header: packet.Header{
 		TTL: 64, MsgID: 42, Waypoints: []uint32{0, 5},
 	}}
-	res := sim.Run(m, city, GreedyGeo{}, pkt, sim.DefaultConfig())
+	res := runSim(t, m, city, GreedyGeo{}, pkt, sim.DefaultConfig())
 	if res.Delivered {
 		t.Error("greedy should not cross a 300 m void")
 	}

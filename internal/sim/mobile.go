@@ -140,6 +140,7 @@ type ProbeEvent struct {
 type InvariantChecker struct {
 	numAPs    int
 	failedAPs map[int]bool
+	failedSet NodeSet
 	schedule  FailureSchedule
 	adversary *Adversary
 
@@ -161,6 +162,7 @@ func NewInvariantChecker(numAPs int, cfg Config) *InvariantChecker {
 	return &InvariantChecker{
 		numAPs:    numAPs,
 		failedAPs: cfg.FailedAPs,
+		failedSet: cfg.FailedSet,
 		schedule:  cfg.Schedule,
 		adversary: cfg.Adversary,
 		acceptTTL: make(map[int]int),
@@ -172,7 +174,7 @@ func (ic *InvariantChecker) down(node int, t float64) bool {
 	if node >= ic.numAPs {
 		return false // carriers never fail
 	}
-	if ic.failedAPs[node] {
+	if ic.failedAPs[node] || ic.failedSet.Contains(node) {
 		return true
 	}
 	return ic.schedule != nil && ic.schedule.Down(node, t)

@@ -11,13 +11,9 @@
 package sim
 
 import (
-	"container/heap"
-	"math"
 	"math/rand"
-	"sort"
 
 	"citymesh/internal/fwd"
-	"citymesh/internal/geo"
 	"citymesh/internal/mesh"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
@@ -103,7 +99,12 @@ type Config struct {
 	// LossProb is the independent per-reception loss probability.
 	LossProb float64
 	// FailedAPs marks crashed APs: they neither receive nor forward.
+	// Legacy map form; the engine folds it into a NodeSet once per run.
+	// Prefer FailedSet for metro-scale runs.
 	FailedAPs map[int]bool
+	// FailedSet marks crashed APs as a bitset — the allocation-free
+	// equivalent of FailedAPs. The engine consults the union of both.
+	FailedSet NodeSet
 	// Schedule is an optional time-varying failure model consulted in
 	// addition to FailedAPs; an AP down at time t neither receives nor
 	// rebroadcasts at t.
@@ -112,7 +113,11 @@ type Config struct {
 	// receive and silently consume frames — never forwarding and never
 	// counting as delivery — which is strictly harder to route around
 	// than a crashed AP whose silence at least leaves the channel clear.
+	// Legacy map form; prefer BlackholeSet for metro-scale runs.
 	Blackholes map[int]bool
+	// BlackholeSet is the NodeSet equivalent of Blackholes; the engine
+	// consults the union of both.
+	BlackholeSet NodeSet
 	// Radio selects the PHY model. nil uses the paper's unit-disk cutoff
 	// at the mesh's configured transmission range.
 	Radio RadioModel
@@ -275,491 +280,21 @@ type event struct {
 	replay bool
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Run simulates the propagation of pkt, injected at the first AP of the
 // source building, until the event queue drains or MaxEvents is hit. The
 // destination building is taken from the packet header. An invalid config
 // (see Config.Validate) yields the same empty not-delivered Result as an
 // out-of-range source: SourceAP == -1 and nothing simulated.
+//
+// Deprecated: Run builds a throwaway Engine per call, repaying none of
+// the per-mesh precomputation and pooled scratch that make repeated runs
+// cheap, and it swallows the reason a run never started. Construct an
+// Engine once per (mesh, city, policy) and call Engine.Run, which returns
+// a real error instead of the SourceAP == -1 sentinel.
 func Run(m *mesh.Mesh, city *osm.City, pol Policy, pkt *packet.Packet, cfg Config) Result {
-	if cfg.Validate() != nil {
+	res, err := NewEngine(m, city, pol).Run(pkt, cfg)
+	if err != nil {
 		return Result{SourceAP: -1}
-	}
-	if cfg.MaxEvents <= 0 {
-		cfg.MaxEvents = 5_000_000
-	}
-	radio := cfg.Radio
-	if radio == nil {
-		radio = UnitDisk{Range: m.Cfg.Range}
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	ctx := &Context{City: city, Mesh: m, RNG: rng, Dst: pkt.Header.Dst()}
-
-	// Kernel-backed policies expose decision counters; snapshot before and
-	// after so Result.Decisions covers exactly this run.
-	dc, hasDC := pol.(DecisionCounter)
-	var dcBefore fwd.Counts
-	if hasDC {
-		dcBefore = dc.DecisionCounts()
-	}
-
-	numAPs := m.NumAPs()
-	total := numAPs + len(cfg.Mobiles)
-
-	// down folds the static failure set and the time-varying schedule.
-	// Mobile carriers never fail: a vehicle drives out of the flood zone
-	// rather than drowning with it.
-	down := func(node int, t float64) bool {
-		if node >= numAPs {
-			return false
-		}
-		if cfg.FailedAPs[node] {
-			return true
-		}
-		return cfg.Schedule != nil && cfg.Schedule.Down(node, t)
-	}
-
-	// nodePos resolves a node's position at time t: APs are static, a
-	// carrier is wherever its path has taken it — the engine re-resolves
-	// neighbor sets against these positions at every transmission.
-	nodePos := func(node int, t float64) geo.Point {
-		if node < numAPs {
-			return m.APs[node].Pos
-		}
-		return cfg.Mobiles[node-numAPs].Path.PosAt(t)
-	}
-
-	probe := func(kind ProbeKind, node, from int, t float64, ttl int) {
-		if cfg.Probe != nil {
-			cfg.Probe(ProbeEvent{Kind: kind, Node: node, From: from, T: t, TTL: ttl})
-		}
-	}
-
-	res := Result{SourceAP: -1}
-	src := pkt.Header.Src()
-	dst := pkt.Header.Dst()
-	if src < 0 || src >= city.NumBuildings() || len(m.APsInBuilding(src)) == 0 {
-		return res
-	}
-	srcAP := int(m.APsInBuilding(src)[0])
-	res.SourceAP = srcAP
-
-	seen := make([]bool, total)
-	hops := make([]int, total)
-	ttl := make([]int, total)
-	if cfg.RecordTranscript {
-		res.Transcript = make([]APRecord, numAPs)
-	}
-
-	h := &eventHeap{}
-	var seq int64
-	push := func(e event) {
-		e.seq = seq
-		seq++
-		heap.Push(h, e)
-	}
-
-	inDst := make(map[int]bool)
-	for _, a := range m.APsInBuilding(dst) {
-		inDst[int(a)] = true
-	}
-
-	lastArrival := make([]float64, total)
-	for i := range lastArrival {
-		lastArrival[i] = math.Inf(-1)
-	}
-
-	// Adversary and defense state. All of it is inert (no allocations on
-	// the hot path, no extra RNG draws) when no behaviors are assigned and
-	// no defense is enabled, preserving the historical event and RNG
-	// sequence byte-for-byte.
-	adv := cfg.Adversary
-	behavior := func(node int) APBehavior {
-		if node >= numAPs {
-			return BehaviorHonest // carriers are never Byzantine
-		}
-		return adv.BehaviorOf(node)
-	}
-	// tainted marks nodes whose accepted copy of the packet is corrupted
-	// (they accepted downstream of a corruptor); everything they forward
-	// is corrupted too.
-	var tainted []bool
-	if adv != nil {
-		tainted = make([]bool, total)
-	}
-	var gate *rateGate
-	if cfg.Defense.NeighborRate > 0 {
-		gate = newRateGate(cfg.Defense)
-	}
-	isTainted := func(node int) bool { return tainted != nil && tainted[node] }
-
-	// deliver marks a reception at AP ap.
-	deliver := func(ap, from int, t float64) {
-		// Receiver-side defense stack, applied to frames off the air (not
-		// the source's own injection): rate gate, TTL sanity, integrity.
-		if from >= 0 {
-			if gate != nil && !gate.allow(ap, from, t) {
-				res.RejectedRateLimited++
-				return
-			}
-			if cfg.Defense.MaxTTL > 0 && ttl[from] > int(cfg.Defense.MaxTTL) {
-				res.RejectedTTL++
-				return
-			}
-			if cfg.Defense.TamperCheck && isTainted(from) {
-				res.RejectedTampered++
-				return
-			}
-		}
-		// Interference approximation: a frame arriving hard on the heels
-		// of another at the same radio is lost in the collision.
-		if cfg.CollisionWindow > 0 && from >= 0 {
-			collided := t-lastArrival[ap] < cfg.CollisionWindow
-			lastArrival[ap] = t
-			if collided {
-				res.LostToCollision++
-				return
-			}
-		}
-		res.Receptions++
-		if seen[ap] {
-			return
-		}
-		seen[ap] = true
-		if from >= 0 {
-			hops[ap] = hops[from] + 1
-			ttl[ap] = ttl[from] - 1
-			if isTainted(from) {
-				tainted[ap] = true
-			}
-		} else {
-			hops[ap] = 0
-			ttl[ap] = int(pkt.Header.TTL)
-		}
-		beh := behavior(ap)
-		switch beh {
-		case BehaviorTTLReset:
-			// The resetter rewrites its stored TTL upward; every frame it
-			// forwards carries the inflated value, which is exactly what
-			// the probe stream (and Defense.MaxTTL downstream) will see.
-			ttl[ap] = adv.resetTTL()
-		case BehaviorCorruptor:
-			tainted[ap] = true
-		}
-		if isTainted(ap) {
-			res.TaintedAccepts++
-		}
-		probe(ProbeAccept, ap, from, t, ttl[ap])
-		if ap >= numAPs {
-			// Mobile carrier pickup: store the packet and start the
-			// periodic carry-and-rebroadcast chain. Carriers bypass the
-			// Policy — they are not APs and know nothing about the map.
-			res.MobilesReached++
-			if ttl[ap] > 0 {
-				mb := cfg.Mobiles[ap-numAPs]
-				if t <= mb.horizon() {
-					push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
-				}
-			}
-			return
-		}
-		res.APsReached++
-		if cfg.RecordTranscript {
-			res.Transcript[ap].Received = true
-			res.Transcript[ap].ReceiveTime = t
-			res.Transcript[ap].Hops = hops[ap]
-		}
-		if cfg.Blackholes[ap] {
-			// Compromised node: consume silently; no delivery, no forward.
-			return
-		}
-		if inDst[ap] {
-			switch {
-			case beh != BehaviorHonest:
-				// The packet reached the destination building, but only a
-				// liar holds it: no delivery credit.
-				res.CompromisedDeliveries++
-			case isTainted(ap):
-				// An honest destination AP accepted the corrupted copy —
-				// and its dedup now suppresses the genuine one.
-				res.TaintedDeliveries++
-			default:
-				probe(ProbeDeliver, ap, -1, t, 0)
-				if !res.Delivered {
-					res.Delivered = true
-					res.DeliveryTime = t
-					res.DeliveryHops = hops[ap]
-				}
-			}
-		}
-		if beh == BehaviorBlackhole {
-			// Byzantine consume: silently eats the frame after (correctly)
-			// being counted as a compromised destination above.
-			return
-		}
-		if ttl[ap] <= 0 {
-			return
-		}
-		if beh == BehaviorReplayer {
-			// Schedule the stale-frame storm: retransmissions of the
-			// stored copy (frozen TTL, no decrement) until the horizon.
-			iv := adv.replayInterval()
-			for rt := t + iv; rt <= adv.replayHorizon(); rt += iv {
-				push(event{t: rt, kind: evTransmit, ap: ap, replay: true})
-			}
-		}
-		if beh == BehaviorCorruptor {
-			// Malicious forward: skip the conduit test entirely and
-			// rebroadcast the (now corrupted) frame — corruption spreads
-			// as far as TTL allows.
-			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
-			if cfg.RecordTranscript {
-				res.Transcript[ap].Forwarded = true
-			}
-			return
-		}
-		// Hand the policy the TTL a live AP would read off the wire: the
-		// sender decrements before transmitting, except the injection AP,
-		// which broadcasts the original header unchanged.
-		ctx.TTL = ttl[ap]
-		if from >= 0 {
-			ctx.TTL++
-		}
-		d := pol.OnReceive(ctx, ap, pkt, from)
-		if beh == BehaviorGrayhole && (d.Rebroadcast || len(d.NextHops) > 0) &&
-			rng.Float64() < adv.dropProb() {
-			// The grayhole quietly eats this forward; the transcript shows
-			// a reception with no transmission — the evidence mismatch the
-			// health layer keys on.
-			res.GrayholeDrops++
-			return
-		}
-		if d.Rebroadcast {
-			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap})
-			if cfg.RecordTranscript {
-				res.Transcript[ap].Forwarded = true
-			}
-		}
-		for _, nh := range d.NextHops {
-			push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evUnicast, ap: ap, peer: int(nh)})
-			if cfg.RecordTranscript {
-				res.Transcript[ap].Forwarded = true
-			}
-		}
-	}
-
-	// Forged-traffic injection: spoofers and flooders start their own
-	// message waves on a fixed cadence (phase-jittered per injector) until
-	// the horizon. Scheduled before the source injection so forged state
-	// indices are stable regardless of how the real wave unfolds.
-	var forged []forgedMsg
-	if adv != nil {
-		var injectors []int
-		for ap, b := range adv.Behaviors {
-			if (b == BehaviorSpoofer || b == BehaviorFlooder) && ap >= 0 && ap < numAPs {
-				injectors = append(injectors, ap)
-			}
-		}
-		sort.Ints(injectors) // map order must not leak into the event stream
-		for _, ap := range injectors {
-			spoof := adv.Behaviors[ap] == BehaviorSpoofer
-			iv := 1 / adv.injectRate()
-			for ft := rng.Float64() * iv; ft <= adv.injectHorizon(); ft += iv {
-				forged = append(forged, forgedMsg{
-					spoof:  spoof,
-					radius: adv.spoofRadius(),
-					center: m.APs[ap].Pos,
-					ttl:    map[int]int{ap: adv.forgedTTL()},
-				})
-				push(event{t: ft, kind: evTransmit, ap: ap, msg: len(forged)})
-			}
-		}
-	}
-
-	// deliverForged processes a forged-message reception at node ap.
-	deliverForged := func(ap, from, msg int, t float64) {
-		fm := &forged[msg-1]
-		if gate != nil && !gate.allow(ap, from, t) {
-			res.RejectedRateLimited++
-			return
-		}
-		if fm.spoof && cfg.Defense.MaxGeocastRadius > 0 && fm.radius > cfg.Defense.MaxGeocastRadius {
-			res.RejectedGeocast++
-			return
-		}
-		senderTTL, ok := fm.ttl[from]
-		if !ok {
-			return // sender lost its state race; cannot happen in practice
-		}
-		if cfg.Defense.MaxTTL > 0 && senderTTL > int(cfg.Defense.MaxTTL) {
-			res.RejectedTTL++
-			return
-		}
-		if _, dup := fm.ttl[ap]; dup {
-			return
-		}
-		remaining := senderTTL - 1
-		fm.ttl[ap] = remaining
-		res.ForgedAccepts++
-		if cfg.Blackholes[ap] || behavior(ap) == BehaviorBlackhole {
-			return
-		}
-		if remaining <= 0 {
-			return
-		}
-		// Honest relaying of the forgery: flood frames flood; spoofed
-		// geocasts rebroadcast only inside the claimed disc — which is why
-		// an absurd claimed radius recruits the whole city.
-		if fm.spoof && m.APs[ap].Pos.Dist(fm.center) > fm.radius {
-			return
-		}
-		push(event{t: t + cfg.TxDelay + rng.Float64()*cfg.JitterMax, kind: evTransmit, ap: ap, msg: msg})
-	}
-
-	// Inject at the source.
-	if !down(srcAP, 0) {
-		deliver(srcAP, -1, 0)
-	}
-
-	events := 0
-	for h.Len() > 0 && events < cfg.MaxEvents {
-		e := heap.Pop(h).(event)
-		events++
-		switch e.kind {
-		case evTransmit:
-			if down(e.ap, e.t) {
-				continue
-			}
-			if e.msg > 0 {
-				// Forged-message wave: its own flood, kept out of the real
-				// packet's Broadcasts/probe stream and invisible to mobile
-				// carriers (they store only the real packet).
-				res.ForgedBroadcasts++
-				arrival := e.t + cfg.TxDelay
-				pos := nodePos(e.ap, e.t)
-				m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
-					if n == e.ap {
-						return true
-					}
-					if down(n, arrival) {
-						return true
-					}
-					if !receives(radio, pos.Dist(p), rng) {
-						return true
-					}
-					if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
-						return true
-					}
-					push(event{t: arrival, kind: evReceive, ap: n, peer: e.ap, msg: e.msg})
-					return true
-				})
-				continue
-			}
-			if e.replay {
-				res.ReplayedFrames++
-			}
-			probe(ProbeTransmit, e.ap, -1, e.t, ttl[e.ap])
-			res.Broadcasts++
-			arrival := e.t + cfg.TxDelay
-			pos := nodePos(e.ap, e.t)
-			m.Grid().WithinRadius(pos, radio.MaxRange(), func(n int, p geo.Point) bool {
-				if n == e.ap {
-					return true
-				}
-				if down(n, arrival) {
-					res.LostToDeadAP++
-					return true
-				}
-				if !receives(radio, pos.Dist(p), rng) {
-					res.LostToRange++
-					return true
-				}
-				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
-					res.LostToLoss++
-					return true
-				}
-				push(event{t: arrival, kind: evReceive, ap: n, peer: e.ap})
-				return true
-			})
-			// Moving carriers are not in the static AP grid: re-resolve
-			// each against the transmitter's position. Out-of-range
-			// carriers are skipped silently (not lost frames — nothing was
-			// ever addressed to them); in-range ones face the same radio
-			// and loss coins as APs.
-			for j := range cfg.Mobiles {
-				node := numAPs + j
-				if node == e.ap || seen[node] {
-					continue
-				}
-				d := pos.Dist(nodePos(node, arrival))
-				if d > radio.MaxRange() {
-					continue
-				}
-				if !receives(radio, d, rng) {
-					res.LostToRange++
-					continue
-				}
-				if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
-					res.LostToLoss++
-					continue
-				}
-				push(event{t: arrival, kind: evReceive, ap: node, peer: e.ap})
-			}
-			// Chain the carrier's next periodic rebroadcast.
-			if e.ap >= numAPs {
-				mb := cfg.Mobiles[e.ap-numAPs]
-				if next := e.t + mb.interval(); next <= mb.horizon() {
-					push(event{t: next, kind: evTransmit, ap: e.ap})
-				}
-			}
-		case evUnicast:
-			if down(e.ap, e.t) {
-				continue
-			}
-			probe(ProbeTransmit, e.ap, -1, e.t, ttl[e.ap])
-			res.Broadcasts++
-			arrival := e.t + cfg.TxDelay
-			if down(e.peer, arrival) {
-				res.LostToDeadAP++
-				continue
-			}
-			if !receives(radio, m.APs[e.ap].Pos.Dist(m.APs[e.peer].Pos), rng) {
-				res.LostToRange++
-				continue
-			}
-			if cfg.LossProb > 0 && rng.Float64() < cfg.LossProb {
-				res.LostToLoss++
-				continue
-			}
-			push(event{t: arrival, kind: evReceive, ap: e.peer, peer: e.ap})
-		case evReceive:
-			if e.msg > 0 {
-				deliverForged(e.ap, e.peer, e.msg, e.t)
-				continue
-			}
-			deliver(e.ap, e.peer, e.t)
-		}
-	}
-	if hasDC {
-		res.Decisions = dc.DecisionCounts().Sub(dcBefore)
 	}
 	return res
 }

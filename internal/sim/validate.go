@@ -28,6 +28,11 @@ var (
 	// ErrBadDefense rejects a Defense with a negative rate, burst, or
 	// geocast radius bound.
 	ErrBadDefense = errors.New("sim: Defense rates and radius must be >= 0")
+	// ErrNoSourceAP is returned by Engine.Run when the packet's source
+	// building is out of range or hosts no AP — there is nowhere to inject
+	// the packet, so nothing was simulated. The deprecated Run wrapper
+	// folds this into its historical SourceAP == -1 sentinel.
+	ErrNoSourceAP = errors.New("sim: no AP in the packet's source building")
 )
 
 // Validate checks the physically meaningless configurations a caller can
