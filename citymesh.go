@@ -37,6 +37,7 @@ import (
 	"citymesh/internal/conduit"
 	"citymesh/internal/core"
 	"citymesh/internal/health"
+	"citymesh/internal/internetwork"
 	"citymesh/internal/osm"
 	"citymesh/internal/packet"
 	"citymesh/internal/sim"
@@ -168,3 +169,48 @@ func DefaultHealthConfig() HealthConfig { return health.DefaultConfig() }
 // NewHealthMap creates a route-health memory; zero config fields use the
 // defaults.
 func NewHealthMap(cfg HealthConfig) *HealthMap { return health.New(cfg) }
+
+// Internetwork re-exports the two-level federation of regional DFNs:
+// level 0 routes inside a member city through conduits, level 1 routes
+// between regions over a gateway summary graph with the same Decide
+// kernel applied one level up.
+type Internetwork = internetwork.Internetwork
+
+// Region re-exports one federation member: a regional network, its
+// gateway buildings (in failover priority order) and its anchor position
+// on the federation plane.
+type Region = internetwork.Region
+
+// RegionID re-exports the federation-unique region name.
+type RegionID = internetwork.RegionID
+
+// InterLink re-exports one long-haul link between two regions.
+type InterLink = internetwork.Link
+
+// InterAddress re-exports the hierarchical (region, building) address.
+type InterAddress = internetwork.Address
+
+// InterSendResult re-exports the outcome of a hierarchical send: the
+// traversed region path, every attempted leg, and the failure cause when
+// undelivered.
+type InterSendResult = internetwork.SendResult
+
+// InterSendOptions re-exports the hierarchical send knobs (seed, per-leg
+// ladder override, reroute budget, level-1 conduit width).
+type InterSendOptions = internetwork.SendOptions
+
+// NewInternetwork creates an empty federation.
+func NewInternetwork() *Internetwork { return internetwork.New() }
+
+// FederationSpec re-exports the synthetic federation generator input
+// (member-city count, link topology, seed, spacing).
+type FederationSpec = citygen.FederationSpec
+
+// Federation re-exports a generated federation: member-city specs plus
+// the long-haul link graph.
+type Federation = citygen.Federation
+
+// GenerateFederation re-exports the synthetic federation generator.
+func GenerateFederation(fs FederationSpec) (*Federation, error) {
+	return citygen.GenerateFederation(fs)
+}

@@ -100,3 +100,45 @@ func TestPresetNames(t *testing.T) {
 		t.Error("unknown preset should error")
 	}
 }
+
+func TestPublicAPIFederation(t *testing.T) {
+	fed, err := citymesh.GenerateFederation(citymesh.FederationSpec{Cities: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := citymesh.NewInternetwork()
+	for _, fc := range fed.Cities {
+		net, err := citymesh.FromSpec(fc.Spec, citymesh.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.AddRegion(&citymesh.Region{
+			ID: citymesh.RegionID(fc.Name), Net: net, Gateway: 0, Pos: fc.PosKm,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range fed.Links {
+		if err := in.AddLink(citymesh.InterLink{
+			A:              citymesh.RegionID(fed.Cities[l.A].Name),
+			B:              citymesh.RegionID(fed.Cities[l.B].Name),
+			LatencySeconds: l.LatencyS, BandwidthMbps: l.BandwidthMbps,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, _, err := in.RegionPath(citymesh.RegionID(fed.Cities[0].Name), citymesh.RegionID(fed.Cities[1].Name))
+	if err != nil || len(path) != 2 {
+		t.Fatalf("region path = %v, %v", path, err)
+	}
+	res, err := in.Send(
+		citymesh.InterAddress{Region: path[0], Building: 0},
+		citymesh.InterAddress{Region: path[1], Building: 0},
+		[]byte("hi"), citymesh.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.EndToEndLatency(); ok != res.Delivered {
+		t.Errorf("latency ok=%v disagrees with Delivered=%v", ok, res.Delivered)
+	}
+}

@@ -18,6 +18,7 @@
 //	citymesh-sim -experiment byzantine -cities gridtown -scale 0.5 -csv
 //	citymesh-sim -list
 //	citymesh-sim -experiment geocast -cities gridtown -scale 0.5 -csv
+//	citymesh-sim -experiment federation -federation-cities 25 -federation-topology ring -link-fail-frac 0,0.3
 package main
 
 import (
@@ -77,6 +78,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		recoverAt = fs.Float64("recover-at", 60,
 			"sim instant at which injected failures heal during the -heal store-and-heal phase (0 disables)")
 
+		fedCities = fs.Int("federation-cities", 0,
+			"cap the federation experiment's size sweep at this many member cities (0 = sweep to 100)")
+		fedTopo = fs.String("federation-topology", "",
+			"federation link graph shape for -experiment federation: line, ring, hub, mesh")
+		linkFail = fs.String("link-fail-frac", "",
+			"comma-separated long-haul link failure fractions for -experiment federation")
+
 		par = fs.Int("par", 0,
 			"sweep worker parallelism (0 = GOMAXPROCS, 1 = serial); output is byte-identical either way")
 		list       = fs.Bool("list", false, "list the registered experiments and exit")
@@ -106,7 +114,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *experiment != "" {
 		return runRegistry(fs, *experiment, *cities, *scale, *seed, *pairs, *par,
-			*csv, stdout, stderr)
+			*fedCities, *fedTopo, *linkFail, *csv, stdout, stderr)
+	}
+	if *fedCities != 0 || *fedTopo != "" || *linkFail != "" {
+		fmt.Fprintln(stderr, "citymesh-sim: -federation-cities/-federation-topology/-link-fail-frac "+
+			"apply to -experiment federation")
+		return 2
 	}
 	if *heal {
 		return runSelfHealing(fs, *cities, *failMode, *failFrac, *pairs, *seed,
@@ -202,13 +215,15 @@ func simOverride(fs *flag.FlagSet, txDelay, jitter, loss float64, maxEv int, std
 
 // runRegistry executes one experiment from the unified registry. Only
 // flags the user set explicitly override the experiment's own defaults.
-func runRegistry(fs *flag.FlagSet, name, cities string, scale float64, seed int64, pairs, par int, csv bool, stdout, stderr io.Writer) int {
+func runRegistry(fs *flag.FlagSet, name, cities string, scale float64, seed int64, pairs, par, fedCities int, fedTopo, linkFail string, csv bool, stdout, stderr io.Writer) int {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	cfg := experiments.RunConfig{
-		Seed:        seed,
-		Scale:       scale,
-		Parallelism: par,
+		Seed:               seed,
+		Scale:              scale,
+		Parallelism:        par,
+		FederationCities:   fedCities,
+		FederationTopology: fedTopo,
 	}
 	if cities != "" {
 		cfg.Cities = strings.Split(cities, ",")
@@ -216,6 +231,13 @@ func runRegistry(fs *flag.FlagSet, name, cities string, scale float64, seed int6
 	}
 	if set["pairs"] {
 		cfg.Pairs = pairs
+	}
+	if linkFail != "" {
+		fracs, ok := parseFracs("-link-fail-frac", linkFail, stderr)
+		if !ok {
+			return 2
+		}
+		cfg.LinkFailFracs = fracs
 	}
 	res, err := experiments.RunByName(name, cfg)
 	if err != nil {
@@ -231,7 +253,7 @@ func runRegistry(fs *flag.FlagSet, name, cities string, scale float64, seed int6
 }
 
 // parseFracs parses a comma-separated failure-fraction list.
-func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
+func parseFracs(flagName, fracsCSV string, stderr io.Writer) ([]float64, bool) {
 	var fracs []float64
 	for _, s := range strings.Split(fracsCSV, ",") {
 		s = strings.TrimSpace(s)
@@ -240,7 +262,7 @@ func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 		}
 		f, err := strconv.ParseFloat(s, 64)
 		if err != nil || f < 0 || f > 1 {
-			fmt.Fprintf(stderr, "citymesh-sim: bad -fail-frac value %q\n", s)
+			fmt.Fprintf(stderr, "citymesh-sim: bad %s value %q\n", flagName, s)
 			return nil, false
 		}
 		fracs = append(fracs, f)
@@ -253,7 +275,7 @@ func parseFracs(fracsCSV string, stderr io.Writer) ([]float64, bool) {
 // plain and ladder delivery side by side either way.
 func runResilience(cities, mode, fracsCSV string, pairs int, seed int64, scale float64, par int, simCfg *sim.Config, csv, reliable bool, advBehavior string, advFrac float64, defend bool, stdout, stderr io.Writer) int {
 	_ = reliable
-	fracs, ok := parseFracs(fracsCSV, stderr)
+	fracs, ok := parseFracs("-fail-frac", fracsCSV, stderr)
 	if !ok {
 		return 2
 	}
@@ -312,7 +334,7 @@ func runSelfHealing(fs *flag.FlagSet, cities, mode, fracsCSV string, pairs int, 
 		}
 	})
 	if fracSet {
-		fracs, ok := parseFracs(fracsCSV, stderr)
+		fracs, ok := parseFracs("-fail-frac", fracsCSV, stderr)
 		if !ok {
 			return 2
 		}

@@ -200,3 +200,41 @@ func TestRunHealCSV(t *testing.T) {
 		t.Errorf("csv output malformed:\n%s", stdout)
 	}
 }
+
+func TestRunFederationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test is slow")
+	}
+	code, stdout, stderr := runCmd(t,
+		"-experiment=federation", "-federation-cities=3", "-federation-topology=ring",
+		"-link-fail-frac=0", "-pairs=2", "-par=2", "-csv")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "cities,topology,") {
+		t.Errorf("federation CSV malformed:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "ring") {
+		t.Errorf("topology flag ignored:\n%s", stdout)
+	}
+}
+
+func TestRunFederationFlagsRequireExperiment(t *testing.T) {
+	code, _, stderr := runCmd(t, "-federation-cities=5")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "federation") {
+		t.Errorf("stderr should explain the flag scope:\n%s", stderr)
+	}
+}
+
+func TestRunFederationRejectsBadLinkFailFrac(t *testing.T) {
+	code, _, stderr := runCmd(t, "-experiment=federation", "-link-fail-frac=2.0")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "link-fail-frac") {
+		t.Errorf("stderr should name the bad flag:\n%s", stderr)
+	}
+}

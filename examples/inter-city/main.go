@@ -28,12 +28,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := &internetwork.Region{ID: id, Net: net, Gateway: pickGateway(net)}
+		r := &internetwork.Region{ID: id, Net: net, Gateways: pickGateways(net)}
 		if err := in.AddRegion(r); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("region %-10s: %d buildings, %d APs, gateway building %d\n",
-			id, net.City.NumBuildings(), net.Mesh.NumAPs(), r.Gateway)
+		fmt.Printf("region %-10s: %d buildings, %d APs, gateways %v\n",
+			id, net.City.NumBuildings(), net.Mesh.NumAPs(), r.Gateways)
 		return r
 	}
 	boston := mk("boston", "gridtown")
@@ -67,8 +67,12 @@ func main() {
 			break
 		}
 	}
-	fmt.Printf("delivered=%v via %d legs, %d mesh broadcasts, ~%.0f ms end to end\n",
-		res.Delivered, len(res.Legs), res.TotalBroadcasts, res.EndToEndLatency()*1000)
+	if lat, ok := res.EndToEndLatency(); ok {
+		fmt.Printf("delivered via %d legs (%d gateway failovers), %d mesh broadcasts, ~%.0f ms end to end\n",
+			len(res.Legs), res.GatewayFailovers, res.TotalBroadcasts, lat*1000)
+	} else {
+		fmt.Printf("not delivered (%v) after %d legs\n", res.Failure, len(res.Legs))
+	}
 
 	// Fail the satellite link: the inter-network partitions (no alternate).
 	in.FailLink("worcester", "providence", true)
@@ -84,19 +88,24 @@ func main() {
 	fmt.Printf("with backup HF link: %v (link latency %.0f ms)\n", path, latency*1000)
 }
 
-// pickGateway returns a building inside the mesh's largest island.
-func pickGateway(net *citymesh.Network) int {
+// pickGateways returns two buildings inside the mesh's largest island:
+// a primary gateway plus a failover.
+func pickGateways(net *citymesh.Network) []int {
 	islands := net.Mesh.Islands()
 	if len(islands) == 0 {
-		return 0
+		return []int{0}
 	}
-	for b := 0; b < net.City.NumBuildings(); b++ {
+	var gws []int
+	for b := 0; b < net.City.NumBuildings() && len(gws) < 2; b++ {
 		aps := net.Mesh.APsInBuilding(b)
 		if len(aps) > 0 && net.Mesh.ComponentOf(int(aps[0])) == islands[0].Component {
-			return b
+			gws = append(gws, b)
 		}
 	}
-	return 0
+	if len(gws) == 0 {
+		return []int{0}
+	}
+	return gws
 }
 
 // pickReachable returns a building that can reach the region's gateway.

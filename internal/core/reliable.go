@@ -74,6 +74,14 @@ type ReliableConfig struct {
 	// FloodTTL caps the scoped flood; 0 derives a bound from the building
 	// route length (or falls back to the network TTL when unroutable).
 	FloodTTL uint8
+	// MaxRung caps how far the ladder escalates: rungs above it are
+	// skipped entirely, and the result reports RungExhausted when nothing
+	// at or below delivered. Zero means unbounded (the full ladder) — a
+	// direct-send-only ladder is not expressible, which is intentional:
+	// callers that want one plain attempt should use Send. The federation
+	// layer bounds legs at RungWiden so gateway failover, not a flood, is
+	// the next recovery step after local widening fails.
+	MaxRung Rung
 	// BackoffBase is the first backoff delay in seconds; each subsequent
 	// attempt doubles it up to BackoffMax.
 	BackoffBase float64
@@ -116,6 +124,9 @@ var (
 	ErrBackoffInverted = errors.New("BackoffMax below BackoffBase")
 	// ErrBadJitterFrac marks a JitterFrac outside [0, 1].
 	ErrBadJitterFrac = errors.New("JitterFrac outside [0, 1]")
+	// ErrBadMaxRung marks a MaxRung outside the real ladder: negative, or
+	// at/above RungExhausted (which is a result marker, not a rung).
+	ErrBadMaxRung = errors.New("MaxRung outside ladder")
 )
 
 // Validate rejects nonsensical ladders with typed errors (errors.Is
@@ -136,6 +147,9 @@ func (c ReliableConfig) Validate() error {
 	}
 	if c.JitterFrac < 0 || c.JitterFrac > 1 {
 		return fmt.Errorf("core: ReliableConfig.JitterFrac = %v: %w", c.JitterFrac, ErrBadJitterFrac)
+	}
+	if c.MaxRung < 0 || c.MaxRung >= RungExhausted {
+		return fmt.Errorf("core: ReliableConfig.MaxRung = %v: %w", c.MaxRung, ErrBadMaxRung)
 	}
 	return nil
 }
@@ -243,6 +257,12 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	}
 	rng := rand.New(rand.NewSource(rcfg.Seed))
 	out := ReliableResult{Rung: RungExhausted}
+	// maxAllows gates each rung under MaxRung (0 = full ladder). Skipped
+	// rungs record no attempt and draw no backoff — the rng stream is
+	// reproducible for a fixed config, which is all determinism needs.
+	maxAllows := func(r Rung) bool {
+		return rcfg.MaxRung == 0 || r <= rcfg.MaxRung
+	}
 
 	// backoff computes the jittered delay before attempt i (0-based; the
 	// very first transmission waits nothing). Drawn unconditionally so the
@@ -301,7 +321,11 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	var path []int
 	if planErr == nil {
 		path, _ = n.BuildingPathPenalized(src, dst, vp)
-		for try := 0; try <= rcfg.Retries; try++ {
+		retries := rcfg.Retries
+		if !maxAllows(RungRetry) {
+			retries = 0
+		}
+		for try := 0; try <= retries; try++ {
 			rung := RungDirect
 			if try > 0 {
 				rung = RungRetry
@@ -343,7 +367,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	if widens == nil {
 		widens = d.WidenFactors
 	}
-	if planErr == nil && len(path) > 0 {
+	if planErr == nil && len(path) > 0 && maxAllows(RungWiden) {
 		for _, f := range widens {
 			wait := backoff()
 			wide, err := conduit.Compress(n.City, path, n.Cfg.ConduitWidth*f)
@@ -373,7 +397,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 
 	// Rung 3: k spatially diverse routes (damage-aware under a health map,
 	// so the diversity penalties compose with the suspicion penalties).
-	{
+	if maxAllows(RungMultipath) {
 		wait := backoff()
 		mp, err := n.MultipathSendPenalized(src, dst, payload, rcfg.MultipathK, attemptSim(len(out.Attempts)), vp)
 		if err != nil {
@@ -403,7 +427,7 @@ func (n *Network) SendReliable(src, dst int, payload []byte, simCfg sim.Config, 
 	// (no conduit constrains forwarding under the flood policy) and a TTL
 	// bounding the blast radius to a multiple of the predicted route
 	// length when one exists.
-	{
+	if maxAllows(RungFlood) {
 		wait := backoff()
 		ttl := rcfg.FloodTTL
 		if ttl == 0 {

@@ -166,6 +166,17 @@ func TestHeaderSizes(t *testing.T) {
 	if res.FullHeaderBits.P50 <= res.RouteBits.P50 {
 		t.Error("full header must exceed route encoding")
 	}
+	// The federation prefix is small and constant-order; the hierarchical
+	// header is the full header plus the prefix.
+	if res.PrefixBits.P50 <= 0 || res.PrefixBits.P90 > 64 {
+		t.Errorf("prefix bits p50=%v p90=%v", res.PrefixBits.P50, res.PrefixBits.P90)
+	}
+	if res.HierHeaderBits.P50 <= res.FullHeaderBits.P50 ||
+		res.HierHeaderBits.Max > res.FullHeaderBits.Max+res.PrefixBits.Max {
+		t.Errorf("hier header (p50 %v, max %v) inconsistent with full (p50 %v, max %v) + prefix (max %v)",
+			res.HierHeaderBits.P50, res.HierHeaderBits.Max,
+			res.FullHeaderBits.P50, res.FullHeaderBits.Max, res.PrefixBits.Max)
+	}
 	if res.Text() == "" {
 		t.Error("empty text")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"citymesh/internal/citygen"
 	"citymesh/internal/core"
+	"citymesh/internal/packet"
 	"citymesh/internal/runner"
 	"citymesh/internal/stats"
 )
@@ -20,6 +21,13 @@ type HeaderSizeResult struct {
 	RouteBits       stats.Summary
 	FullHeaderBits  stats.Summary
 	UncompressedWps stats.Summary // route length before conduit compression
+	// PrefixBits is the constant-size hierarchical region prefix an
+	// inter-region send would stack on the same header, and
+	// HierHeaderBits is the resulting federation header (full header +
+	// prefix) — the per-relay cost of addressing this city from another
+	// region in a two-level federation.
+	PrefixBits     stats.Summary
+	HierHeaderBits stats.Summary
 }
 
 // HeaderSizes samples random routable pairs in a city and measures the
@@ -41,7 +49,7 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (
 	if samples <= 0 {
 		samples = 200
 	}
-	var routeBits, headerBits, wps, rawWps []float64
+	var routeBits, headerBits, wps, rawWps, prefixBits, hierBits []float64
 	pairs, err := n.RandomPairs(seed, samples*4)
 	if err != nil {
 		return HeaderSizeResult{}, err
@@ -49,6 +57,7 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (
 	type outcome struct {
 		ok                           bool
 		routeBits, headerBits        float64
+		prefixBits                   float64
 		waypoints, uncompressedPaths float64
 	}
 	for idx := 0; len(routeBits) < samples && idx < len(pairs); {
@@ -73,10 +82,18 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (
 			if err != nil {
 				return outcome{}
 			}
+			// The hierarchical prefix this route would carry if it crossed
+			// a region boundary on the way here (source region -> this
+			// one, destination building addressed region-locally).
+			prefix := (&packet.RegionPrefix{
+				SrcRegion: 0, DstRegion: 1,
+				DstBuilding: uint32(p[1]), TTL: 16,
+			}).Bits()
 			return outcome{
 				ok:        true,
 				routeBits: float64(pkt.Header.RouteBits()), headerBits: float64(pkt.Header.HeaderBits()),
-				waypoints: float64(len(r.Waypoints)), uncompressedPaths: float64(len(path)),
+				prefixBits: float64(prefix),
+				waypoints:  float64(len(r.Waypoints)), uncompressedPaths: float64(len(path)),
 			}
 		})
 		for _, o := range outs {
@@ -88,6 +105,8 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (
 			}
 			routeBits = append(routeBits, o.routeBits)
 			headerBits = append(headerBits, o.headerBits)
+			prefixBits = append(prefixBits, o.prefixBits)
+			hierBits = append(hierBits, o.headerBits+o.prefixBits)
 			wps = append(wps, o.waypoints)
 			rawWps = append(rawWps, o.uncompressedPaths)
 		}
@@ -103,6 +122,8 @@ func HeaderSizes(cityName string, scale float64, seed int64, samples, par int) (
 		RouteBits:       stats.Summarize(routeBits),
 		FullHeaderBits:  stats.Summarize(headerBits),
 		UncompressedWps: stats.Summarize(rawWps),
+		PrefixBits:      stats.Summarize(prefixBits),
+		HierHeaderBits:  stats.Summarize(hierBits),
 	}, nil
 }
 
@@ -114,6 +135,8 @@ func (r HeaderSizeResult) Text() string {
 	fmt.Fprintf(&sb, "  waypoints after compression:    p50=%.0f p90=%.0f\n", r.Waypoints.P50, r.Waypoints.P90)
 	fmt.Fprintf(&sb, "  compressed route bits:          p50=%.0f p90=%.0f\n", r.RouteBits.P50, r.RouteBits.P90)
 	fmt.Fprintf(&sb, "  full header bits:               p50=%.0f p90=%.0f\n", r.FullHeaderBits.P50, r.FullHeaderBits.P90)
+	fmt.Fprintf(&sb, "  + federation region prefix:     p50=%.0f p90=%.0f (hier header p50=%.0f p90=%.0f)\n",
+		r.PrefixBits.P50, r.PrefixBits.P90, r.HierHeaderBits.P50, r.HierHeaderBits.P90)
 	return sb.String()
 }
 
@@ -121,10 +144,12 @@ func (r HeaderSizeResult) Text() string {
 func (r HeaderSizeResult) CSV() string {
 	var sb strings.Builder
 	sb.WriteString("city,routes,uncompressed_p50,uncompressed_p90,waypoints_p50,waypoints_p90," +
-		"route_bits_p50,route_bits_p90,header_bits_p50,header_bits_p90\n")
-	fmt.Fprintf(&sb, "%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
+		"route_bits_p50,route_bits_p90,header_bits_p50,header_bits_p90," +
+		"prefix_bits_p50,prefix_bits_p90,hier_header_bits_p50,hier_header_bits_p90\n")
+	fmt.Fprintf(&sb, "%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n",
 		r.City, r.Routes, r.UncompressedWps.P50, r.UncompressedWps.P90,
 		r.Waypoints.P50, r.Waypoints.P90, r.RouteBits.P50, r.RouteBits.P90,
-		r.FullHeaderBits.P50, r.FullHeaderBits.P90)
+		r.FullHeaderBits.P50, r.FullHeaderBits.P90,
+		r.PrefixBits.P50, r.PrefixBits.P90, r.HierHeaderBits.P50, r.HierHeaderBits.P90)
 	return sb.String()
 }

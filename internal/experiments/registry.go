@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"citymesh/internal/citygen"
 )
 
 // RunConfig is the one knob set shared by every registered experiment.
@@ -23,6 +25,16 @@ type RunConfig struct {
 	// Parallelism is the runner worker count: 0 or negative uses
 	// GOMAXPROCS, 1 forces serial. Results are byte-identical either way.
 	Parallelism int
+	// FederationCities caps the federation experiment's size sweep: the
+	// default sizes up to and including this count (0 = the full default
+	// sweep to 100 cities).
+	FederationCities int
+	// FederationTopology names the federation link graph shape (line,
+	// ring, hub, mesh); empty selects the experiment default.
+	FederationTopology string
+	// LinkFailFracs overrides the federation experiment's link-failure
+	// arms (nil = the experiment default).
+	LinkFailFracs []float64
 }
 
 // withDefaults fills the zero fields shared across experiments.
@@ -307,6 +319,33 @@ func Registry() []Experiment {
 				return nil, err
 			}
 			return textCSV{text: ByzantineText(res), csv: ByzantineCSV(res)}, nil
+		}},
+		expFunc{"federation", func(cfg RunConfig) (Result, error) {
+			cfg = cfg.withDefaults()
+			fc := DefaultFederationConfig()
+			fc.Seed = cfg.Seed
+			fc.Parallelism = cfg.Parallelism
+			if cfg.Pairs > 0 {
+				fc.Pairs = cfg.Pairs
+			}
+			if cfg.FederationTopology != "" {
+				topo, err := citygen.ParseTopology(cfg.FederationTopology)
+				if err != nil {
+					return nil, err
+				}
+				fc.Topology = topo
+			}
+			if cfg.FederationCities > 0 {
+				fc.Sizes = federationSizesUpTo(cfg.FederationCities)
+			}
+			if len(cfg.LinkFailFracs) > 0 {
+				fc.LinkFailFracs = cfg.LinkFailFracs
+			}
+			rows, err := FederationSweep(fc)
+			if err != nil {
+				return nil, err
+			}
+			return textCSV{text: FederationText(rows), csv: FederationCSV(rows)}, nil
 		}},
 		expFunc{"geocast", func(cfg RunConfig) (Result, error) {
 			cfg = cfg.withDefaults()

@@ -1,0 +1,100 @@
+package fwd
+
+import "fmt"
+
+// Hierarchy levels. The kernel's decision table is level-agnostic — it
+// only sees a MapView, a header, and a position — which is what lets the
+// federation layer reuse it unchanged one level up: level 0 decides
+// building-route forwarding inside a region, level 1 decides region-route
+// forwarding over the federation's summary graph, where each region
+// collapses to one coarse "building" (its anchor position) and the
+// waypoints are dense region indices. A level-1 conduit is therefore a
+// conduit-of-conduits: each region segment it recruits expands, inside
+// that region, into ordinary level-0 conduits.
+const (
+	// Level0Building is intra-region forwarding over the building map.
+	Level0Building = 0
+	// Level1Region is inter-region forwarding over the region summary map.
+	Level1Region = 1
+
+	// NumLevels is the hierarchy depth. Two levels carry a planetary
+	// federation (the same argument as the paper's city→inter-network
+	// split); deeper nesting would add constants here, not new code.
+	NumLevels = 2
+)
+
+// LevelName names a hierarchy level for tables and logs.
+func LevelName(level int) string {
+	switch level {
+	case Level0Building:
+		return "L0/building"
+	case Level1Region:
+		return "L1/region"
+	default:
+		return fmt.Sprintf("L%d", level)
+	}
+}
+
+// LevelKernel is a stack of independent Kernels, one per hierarchy level,
+// with per-level reason counters. Decisions at different levels run
+// against different map views (buildings vs region summaries) and must
+// never share a conduit cache — a level-1 region conduit reconstructed
+// against the building map would be garbage — so each level gets its own
+// bounded cache and its own Counts.
+type LevelKernel struct {
+	kernels [NumLevels]*Kernel
+}
+
+// NewLevelKernel builds one kernel per level. opts[i] configures level i;
+// missing entries use the zero Options (default cache, no sanity caps).
+func NewLevelKernel(opts ...Options) *LevelKernel {
+	lk := &LevelKernel{}
+	for i := range lk.kernels {
+		var o Options
+		if i < len(opts) {
+			o = opts[i]
+		}
+		lk.kernels[i] = NewKernel(o)
+	}
+	return lk
+}
+
+// Level returns the kernel for one hierarchy level. Levels outside
+// [0, NumLevels) are a programming error and panic.
+func (lk *LevelKernel) Level(level int) *Kernel {
+	if level < 0 || level >= NumLevels {
+		panic(fmt.Sprintf("fwd: hierarchy level %d out of range [0,%d)", level, NumLevels))
+	}
+	return lk.kernels[level]
+}
+
+// Counts snapshots one level's per-reason totals. Decisions are made via
+// Level(level).Decide — each tallies into its own level only.
+func (lk *LevelKernel) Counts(level int) Counts { return lk.Level(level).Counts() }
+
+// AllCounts snapshots every level.
+func (lk *LevelKernel) AllCounts() [NumLevels]Counts {
+	var out [NumLevels]Counts
+	for i, k := range lk.kernels {
+		out[i] = k.Counts()
+	}
+	return out
+}
+
+// TotalCounts sums the per-level counters into one Counts — total
+// decisions made across the hierarchy.
+func (lk *LevelKernel) TotalCounts() Counts {
+	var t Counts
+	for _, k := range lk.kernels {
+		c := k.Counts()
+		t.FirstHop += c.FirstHop
+		t.TTLExpired += c.TTLExpired
+		t.Geocast += c.Geocast
+		t.InConduit += c.InConduit
+		t.OutOfConduit += c.OutOfConduit
+		t.BadRoute += c.BadRoute
+		t.TTLInflated += c.TTLInflated
+		t.BadConduit += c.BadConduit
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package fwd
+
+import (
+	"testing"
+
+	"citymesh/internal/geo"
+	"citymesh/internal/packet"
+)
+
+// levelView is a minimal MapView: n nodes on a straight line 100 apart —
+// serving as buildings at level 0 and as region anchors at level 1.
+type levelView struct{ n int }
+
+func (v levelView) NumBuildings() int        { return v.n }
+func (v levelView) Centroid(b int) geo.Point { return geo.Pt(float64(b)*100, 0) }
+
+func TestLevelKernelIndependentCounters(t *testing.T) {
+	lk := NewLevelKernel()
+	buildings := levelView{n: 10}
+	regions := levelView{n: 4}
+	hdrL0 := &packet.Header{TTL: 16, MsgID: 1, Width: 60, Waypoints: []uint32{0, 9}}
+	hdrL1 := &packet.Header{TTL: 8, MsgID: 2, Width: 60, Waypoints: []uint32{0, 3}}
+
+	// Level 0: an on-corridor building forwards.
+	v0 := lk.Level(Level0Building).Decide(buildings, hdrL0, Self{Pos: geo.Pt(500, 0), Building: 5}, false)
+	if !v0.Rebroadcast || v0.Reason != ReasonInConduit {
+		t.Fatalf("level-0 verdict = %+v", v0)
+	}
+	// Level 1: an on-corridor region relays, an off-corridor one does not.
+	v1 := lk.Level(Level1Region).Decide(regions, hdrL1, Self{Pos: geo.Pt(100, 0), Building: 1}, false)
+	if !v1.Rebroadcast || v1.Reason != ReasonInConduit {
+		t.Fatalf("level-1 verdict = %+v", v1)
+	}
+	far := lk.Level(Level1Region).Decide(regions, hdrL1, Self{Pos: geo.Pt(100, 900), Building: -1}, false)
+	if far.Rebroadcast {
+		t.Fatalf("far region forwarded: %+v", far)
+	}
+
+	c0, c1 := lk.Counts(Level0Building), lk.Counts(Level1Region)
+	if c0.Total() != 1 || c0.InConduit != 1 {
+		t.Errorf("level-0 counts = %+v", c0)
+	}
+	if c1.Total() != 2 || c1.InConduit != 1 || c1.OutOfConduit != 1 {
+		t.Errorf("level-1 counts = %+v", c1)
+	}
+	all := lk.AllCounts()
+	if all[0] != c0 || all[1] != c1 {
+		t.Errorf("AllCounts = %+v", all)
+	}
+	if got := lk.TotalCounts().Total(); got != 3 {
+		t.Errorf("TotalCounts.Total = %d, want 3", got)
+	}
+}
+
+func TestLevelKernelSeparateCaches(t *testing.T) {
+	// The same MsgID decided at both levels must reconstruct against each
+	// level's own view — shared caching would poison one with the other.
+	lk := NewLevelKernel()
+	hdr := &packet.Header{TTL: 16, MsgID: 42, Width: 60, Waypoints: []uint32{0, 3}}
+	buildings := levelView{n: 100}
+	regions := levelView{n: 4}
+	lk.Level(Level0Building).Decide(buildings, hdr, Self{Pos: geo.Pt(150, 0), Building: -1}, false)
+	lk.Level(Level1Region).Decide(regions, hdr, Self{Pos: geo.Pt(150, 0), Building: -1}, false)
+	r0 := lk.Level(Level0Building).Region(buildings, hdr)
+	r1 := lk.Level(Level1Region).Region(regions, hdr)
+	if r0 == r1 {
+		t.Fatal("levels share one cached conduit region")
+	}
+}
+
+func TestLevelKernelPerLevelOptions(t *testing.T) {
+	lk := NewLevelKernel(Options{}, Options{MaxTTL: 4})
+	regions := levelView{n: 4}
+	hdr := &packet.Header{TTL: 9, MsgID: 7, Waypoints: []uint32{0, 3}}
+	v := lk.Level(Level1Region).Decide(regions, hdr, Self{Pos: geo.Pt(100, 0), Building: 1}, false)
+	if v.Reason != ReasonTTLInflated {
+		t.Errorf("level-1 MaxTTL not applied: %+v", v)
+	}
+	// Level 0 got the zero Options: no TTL cap.
+	v0 := lk.Level(Level0Building).Decide(regions, hdr, Self{Pos: geo.Pt(100, 0), Building: 1}, false)
+	if v0.Reason == ReasonTTLInflated {
+		t.Errorf("level-0 inherited level-1 options: %+v", v0)
+	}
+}
+
+func TestLevelKernelBadLevelPanics(t *testing.T) {
+	lk := NewLevelKernel()
+	for _, level := range []int{-1, NumLevels} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Level(%d) did not panic", level)
+				}
+			}()
+			lk.Level(level)
+		}()
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	if LevelName(Level0Building) != "L0/building" || LevelName(Level1Region) != "L1/region" {
+		t.Error("level names changed")
+	}
+	if LevelName(5) != "L5" {
+		t.Errorf("LevelName(5) = %q", LevelName(5))
+	}
+}

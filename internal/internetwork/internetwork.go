@@ -3,34 +3,63 @@
 // regions?" and "what role ... should technologies such as satellite
 // networks serve ... to connect between population centers".
 //
-// Each Region is one CityMesh deployment. Regions peer through gateways:
-// designated buildings hosting long-haul equipment (satellite terminals,
-// surviving point-to-point fiber, HF radio). An inter-region message rides
-// CityMesh conduits from the source to its region's gateway, crosses one or
-// more inter-region links, and rides conduits again from the destination
-// region's gateway to the destination building. Region-level routing is a
-// Dijkstra over the gateway link graph weighted by link latency.
+// The package is a real two-level hierarchy:
+//
+//   - Level 0 is routing inside a region: ordinary CityMesh conduits over
+//     the building map, delivered by each member Network's escalation
+//     ladder (core.SendReliable over the shared, cached Network.Engine()).
+//   - Level 1 is the region-summary graph: each region collapses to one
+//     coarse node (its anchor position, in kilometers), inter-region links
+//     carry latency, bandwidth and Down state, and region-level paths are
+//     a seeded Dijkstra over that summary — optionally constrained by a
+//     "conduit-of-conduits" computed by the *same* fwd.Decide kernel that
+//     makes level-0 forwarding decisions, one hierarchy level up (see
+//     hier.go).
+//
+// The hierarchy is what keeps state and headers flat as the federation
+// grows: an ordinary AP stores only its region index and its region's
+// gateway list (constant bytes), only gateway buildings hold the
+// O(regions+links) summary, and an inter-region frame carries a
+// constant-size packet.RegionPrefix on the long-haul links instead of a
+// region source route. The `federation` experiment measures both claims.
+//
+// Regions peer through gateways: designated buildings hosting long-haul
+// equipment (satellite terminals, surviving point-to-point fiber, HF
+// radio). A region may have several; delivery fails over across them (see
+// send.go's escalation order).
 package internetwork
 
 import (
-	"container/heap"
 	"fmt"
 
 	"citymesh/internal/core"
-	"citymesh/internal/sim"
+	"citymesh/internal/fwd"
+	"citymesh/internal/geo"
 )
 
 // RegionID names a region.
 type RegionID string
 
-// Region is one city-scale DFN plus its gateway building.
+// Region is one city-scale DFN plus its long-haul attachment points.
 type Region struct {
 	ID RegionID
 	// Net is the region's CityMesh deployment.
 	Net *core.Network
-	// Gateway is the dense building index hosting the region's long-haul
-	// equipment.
+	// Gateway is the primary gateway building (kept for compatibility —
+	// the flat predecessor of this package had exactly one). When Gateways
+	// is set it takes precedence and Gateway is rewritten to Gateways[0]
+	// at registration; when only Gateway is set, Gateways becomes
+	// [Gateway].
 	Gateway int
+	// Gateways lists every gateway building in failover priority order.
+	// All of a region's gateways share the region's long-haul links — a
+	// leg may exit through any live one.
+	Gateways []int
+	// Pos is the region's anchor on the federation plane, in kilometers.
+	// It feeds the level-1 conduit geometry (hier.go); regions that never
+	// set it (all anchors coincident) simply get unconstrained level-1
+	// rerouting.
+	Pos geo.Point
 }
 
 // LinkKind classifies an inter-region link.
@@ -60,17 +89,22 @@ func (k LinkKind) String() string {
 	}
 }
 
-// Link is a bidirectional gateway-to-gateway connection.
+// Link is a bidirectional region-to-region connection.
 type Link struct {
 	A, B RegionID
 	Kind LinkKind
 	// LatencySeconds is the one-way link latency.
 	LatencySeconds float64
+	// BandwidthMbps is the usable link rate; it adds payload transfer time
+	// to the link cost. Zero selects a per-kind default.
+	BandwidthMbps float64
 	// Down marks a failed link (failure injection).
 	Down bool
 }
 
-// Address identifies an endpoint across the inter-network.
+// Address identifies an endpoint across the inter-network: the
+// hierarchical Region/Building pair that packet.RegionPrefix carries on
+// the long-haul links.
 type Address struct {
 	Region   RegionID
 	Building int
@@ -79,27 +113,62 @@ type Address struct {
 // Internetwork is the composed fallback network.
 type Internetwork struct {
 	regions map[RegionID]*Region
-	links   []Link
+	// order assigns each region its dense level-1 index (registration
+	// order) — the index space of the summary graph, the level-1 MapView
+	// and packet.RegionPrefix.
+	order []RegionID
+	index map[RegionID]int
+	links []Link
+	// deadGW holds explicitly failed gateways (FailGateway).
+	deadGW map[RegionID]map[int]bool
+	// lk stacks the per-level fwd kernels: level 1 makes the
+	// conduit-of-conduits decisions and tallies level-aware counters.
+	lk *fwd.LevelKernel
+	// adj is the lazily built summary adjacency (summary.go); dirty marks
+	// it stale after AddRegion/AddLink. Link Down state is read through at
+	// search time, so FailLink needs no invalidation.
+	adj      [][]halfLink
+	adjDirty bool
 }
 
 // New returns an empty inter-network.
 func New() *Internetwork {
-	return &Internetwork{regions: make(map[RegionID]*Region)}
+	return &Internetwork{
+		regions: make(map[RegionID]*Region),
+		index:   make(map[RegionID]int),
+		deadGW:  make(map[RegionID]map[int]bool),
+		lk:      fwd.NewLevelKernel(),
+	}
 }
 
-// AddRegion registers a region. The gateway building must exist in the
+// AddRegion registers a region. Every gateway building must exist in the
 // region's city.
 func (in *Internetwork) AddRegion(r *Region) error {
 	if r == nil || r.Net == nil {
 		return fmt.Errorf("internetwork: nil region")
 	}
-	if r.Gateway < 0 || r.Gateway >= r.Net.City.NumBuildings() {
-		return fmt.Errorf("internetwork: gateway building %d out of range", r.Gateway)
-	}
 	if _, dup := in.regions[r.ID]; dup {
 		return fmt.Errorf("internetwork: duplicate region %q", r.ID)
 	}
+	if len(r.Gateways) == 0 {
+		r.Gateways = []int{r.Gateway}
+	} else {
+		r.Gateway = r.Gateways[0]
+	}
+	seen := make(map[int]bool, len(r.Gateways))
+	for _, g := range r.Gateways {
+		if g < 0 || g >= r.Net.City.NumBuildings() {
+			return fmt.Errorf("internetwork: region %q gateway building %d out of range", r.ID, g)
+		}
+		if seen[g] {
+			return fmt.Errorf("internetwork: region %q duplicate gateway %d", r.ID, g)
+		}
+		seen[g] = true
+	}
 	in.regions[r.ID] = r
+	in.index[r.ID] = len(in.order)
+	in.order = append(in.order, r.ID)
+	in.adjDirty = true
 	return nil
 }
 
@@ -117,7 +186,11 @@ func (in *Internetwork) AddLink(l Link) error {
 	if l.LatencySeconds <= 0 {
 		l.LatencySeconds = defaultLatency(l.Kind)
 	}
+	if l.BandwidthMbps <= 0 {
+		l.BandwidthMbps = defaultBandwidth(l.Kind)
+	}
 	in.links = append(in.links, l)
+	in.adjDirty = true
 	return nil
 }
 
@@ -132,165 +205,38 @@ func defaultLatency(k LinkKind) float64 {
 	}
 }
 
+func defaultBandwidth(k LinkKind) float64 {
+	switch k {
+	case LinkFiber:
+		return 1000
+	case LinkHFRadio:
+		return 0.1
+	default:
+		return 20
+	}
+}
+
 // Region returns a registered region.
 func (in *Internetwork) Region(id RegionID) (*Region, bool) {
 	r, ok := in.regions[id]
 	return r, ok
 }
 
-// RegionPath returns the minimum-latency sequence of regions from a to b
-// over non-failed links, inclusive of both endpoints.
-func (in *Internetwork) RegionPath(a, b RegionID) ([]RegionID, float64, error) {
-	if _, ok := in.regions[a]; !ok {
-		return nil, 0, fmt.Errorf("internetwork: unknown region %q", a)
-	}
-	if _, ok := in.regions[b]; !ok {
-		return nil, 0, fmt.Errorf("internetwork: unknown region %q", b)
-	}
-	if a == b {
-		return []RegionID{a}, 0, nil
-	}
-	dist := map[RegionID]float64{a: 0}
-	prev := map[RegionID]RegionID{}
-	pq := &regionHeap{{id: a, d: 0}}
-	done := map[RegionID]bool{}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(regionItem)
-		if done[it.id] {
-			continue
-		}
-		done[it.id] = true
-		if it.id == b {
-			break
-		}
-		for _, l := range in.links {
-			if l.Down {
-				continue
-			}
-			var peer RegionID
-			switch it.id {
-			case l.A:
-				peer = l.B
-			case l.B:
-				peer = l.A
-			default:
-				continue
-			}
-			nd := it.d + l.LatencySeconds
-			if cur, ok := dist[peer]; !ok || nd < cur {
-				dist[peer] = nd
-				prev[peer] = it.id
-				heap.Push(pq, regionItem{id: peer, d: nd})
-			}
-		}
-	}
-	total, ok := dist[b]
-	if !ok || !done[b] {
-		return nil, 0, fmt.Errorf("internetwork: no link path %q -> %q", a, b)
-	}
-	var path []RegionID
-	for cur := b; ; cur = prev[cur] {
-		path = append([]RegionID{cur}, path...)
-		if cur == a {
-			break
-		}
-	}
-	return path, total, nil
+// Index returns a region's dense level-1 index (its node id in the
+// summary graph and in packet.RegionPrefix).
+func (in *Internetwork) Index(id RegionID) (int, bool) {
+	i, ok := in.index[id]
+	return i, ok
 }
 
-type regionItem struct {
-	id RegionID
-	d  float64
-}
-
-type regionHeap []regionItem
-
-func (h regionHeap) Len() int           { return len(h) }
-func (h regionHeap) Less(i, j int) bool { return h[i].d < h[j].d }
-func (h regionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *regionHeap) Push(x any)        { *h = append(*h, x.(regionItem)) }
-func (h *regionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// Leg is one intra-region conduit traversal of an inter-region delivery.
-type Leg struct {
-	Region    RegionID
-	Src, Dst  int
-	Delivered bool
-	Sim       sim.Result
-}
-
-// SendResult is the outcome of an inter-region send.
-type SendResult struct {
-	RegionPath []RegionID
-	Legs       []Leg
-	// Delivered reports end-to-end success (every leg delivered).
-	Delivered bool
-	// LinkLatency is the summed inter-region link latency.
-	LinkLatency float64
-	// TotalBroadcasts sums mesh transmissions across all legs.
-	TotalBroadcasts int
-}
-
-// Send delivers a payload from src to dst across the inter-network: conduit
-// legs within regions, link hops between gateways.
-func (in *Internetwork) Send(src, dst Address, payload []byte, simCfg sim.Config) (SendResult, error) {
-	regions, latency, err := in.RegionPath(src.Region, dst.Region)
-	if err != nil {
-		return SendResult{}, err
-	}
-	out := SendResult{RegionPath: regions, LinkLatency: latency, Delivered: true}
-
-	for i, rid := range regions {
-		r := in.regions[rid]
-		legSrc, legDst := r.Gateway, r.Gateway
-		if i == 0 {
-			legSrc = src.Building
-		}
-		if i == len(regions)-1 {
-			legDst = dst.Building
-		}
-		if legSrc == legDst {
-			// Gateway-to-gateway passthrough within one region, or sender
-			// already at the gateway: nothing to simulate.
-			out.Legs = append(out.Legs, Leg{Region: rid, Src: legSrc, Dst: legDst, Delivered: true})
-			continue
-		}
-		res, err := r.Net.Send(legSrc, legDst, payload, simCfg)
-		if err != nil {
-			out.Delivered = false
-			out.Legs = append(out.Legs, Leg{Region: rid, Src: legSrc, Dst: legDst})
-			return out, nil // routing failure inside a region is a delivery failure, not an API error
-		}
-		leg := Leg{Region: rid, Src: legSrc, Dst: legDst, Delivered: res.Sim.Delivered, Sim: res.Sim}
-		out.Legs = append(out.Legs, leg)
-		out.TotalBroadcasts += res.Sim.Broadcasts
-		if !res.Sim.Delivered {
-			out.Delivered = false
-			return out, nil
-		}
-	}
-	return out, nil
-}
-
-// EndToEndLatency estimates total delivery latency: mesh legs plus links.
-func (r SendResult) EndToEndLatency() float64 {
-	t := r.LinkLatency
-	for _, leg := range r.Legs {
-		if leg.Delivered {
-			t += leg.Sim.DeliveryTime
-		}
-	}
-	return t
+// RegionIDs lists the registered regions in dense-index order.
+func (in *Internetwork) RegionIDs() []RegionID {
+	return append([]RegionID(nil), in.order...)
 }
 
 // FailLink marks links between two regions as down (failure injection) and
-// returns how many links changed state.
+// returns how many links changed state. Flapping a link down→up→down is
+// fully supported: path computation reads Down at search time.
 func (in *Internetwork) FailLink(a, b RegionID, down bool) int {
 	n := 0
 	for i := range in.links {
@@ -304,6 +250,61 @@ func (in *Internetwork) FailLink(a, b RegionID, down bool) int {
 	}
 	return n
 }
+
+// FailGateway marks one of a region's gateway buildings as failed (or
+// restores it) and returns how many gateways changed state (0 or 1).
+// Failed gateways are skipped by gateway selection; a region whose every
+// gateway is down becomes untraversable and Send reroutes around it.
+func (in *Internetwork) FailGateway(id RegionID, building int, down bool) int {
+	r, ok := in.regions[id]
+	if !ok {
+		return 0
+	}
+	isGW := false
+	for _, g := range r.Gateways {
+		if g == building {
+			isGW = true
+			break
+		}
+	}
+	if !isGW {
+		return 0
+	}
+	dead := in.deadGW[id]
+	if dead == nil {
+		dead = make(map[int]bool)
+		in.deadGW[id] = dead
+	}
+	if dead[building] == down {
+		return 0
+	}
+	if down {
+		dead[building] = true
+	} else {
+		delete(dead, building)
+	}
+	return 1
+}
+
+// liveGateways returns the region's usable gateways in failover priority
+// order, skipping those failed via FailGateway.
+func (in *Internetwork) liveGateways(idx int) []int {
+	r := in.regions[in.order[idx]]
+	dead := in.deadGW[r.ID]
+	out := make([]int, 0, len(r.Gateways))
+	for _, g := range r.Gateways {
+		if !dead[g] {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// LevelCounts snapshots the fwd kernel's per-reason decision totals at one
+// hierarchy level (fwd.Level0Building, fwd.Level1Region). Level-1 counts
+// tally the conduit-of-conduits decisions made while planning and
+// re-routing region paths.
+func (in *Internetwork) LevelCounts(level int) fwd.Counts { return in.lk.Counts(level) }
 
 // Regions returns the registered region count.
 func (in *Internetwork) Regions() int { return len(in.regions) }

@@ -1,0 +1,97 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RegionPrefix is the level-1 addressing shim of the federation hierarchy:
+// the hierarchical address (Region/Building) an inter-region frame carries
+// while it rides a gateway-to-gateway long-haul link. Inside a region the
+// ordinary Header is the whole story — APs never see the prefix — so the
+// per-AP header cost of federating is exactly these few bytes, *constant*
+// in the number of federated cities (region indices are varints, so a
+// 100-region federation pays one byte where a 2-region one does). That is
+// the hierarchy's header-scaling argument, measured by the `federation`
+// experiment and accounted in the headers experiment.
+//
+// The prefix is a link-layer frame: gateways encode it in front of the
+// intra-region frame when transmitting on an inter-region link and strip
+// it on arrival, re-planning the level-0 route inside their own city. It
+// never transits the broadcast mesh.
+type RegionPrefix struct {
+	// SrcRegion and DstRegion are dense federation region indices.
+	SrcRegion, DstRegion uint32
+	// DstBuilding is the destination building inside DstRegion — the
+	// second component of the hierarchical address.
+	DstBuilding uint32
+	// TTL bounds the remaining region-level link hops.
+	TTL uint8
+}
+
+// RegionMagic identifies a region-prefix shim on an inter-region link.
+const RegionMagic = 0xCE
+
+// MaxRegionIndex bounds the region indices a prefix may carry. A planetary
+// federation of city DFNs is thousands of regions; 2^20 leaves headroom
+// without letting a corrupt varint claim gigabyte state.
+const MaxRegionIndex = 1 << 20
+
+// Typed sentinel errors for prefix decoding.
+var (
+	// ErrRegionIndex marks a region or building index beyond MaxRegionIndex.
+	ErrRegionIndex = errors.New("packet: region prefix index out of range")
+	// ErrBadRegionMagic marks a link frame that does not start with
+	// RegionMagic.
+	ErrBadRegionMagic = errors.New("packet: bad region prefix magic")
+)
+
+// EncodedLen returns the encoded prefix length in bytes.
+func (p *RegionPrefix) EncodedLen() int {
+	return 2 + // magic, ttl
+		UvarintLen(uint64(p.SrcRegion)) +
+		UvarintLen(uint64(p.DstRegion)) +
+		UvarintLen(uint64(p.DstBuilding))
+}
+
+// Bits returns the prefix size in bits, comparable against Header.HeaderBits.
+func (p *RegionPrefix) Bits() int { return 8 * p.EncodedLen() }
+
+// AppendRegionPrefix appends the wire encoding of the prefix to dst.
+func AppendRegionPrefix(dst []byte, p RegionPrefix) ([]byte, error) {
+	if p.SrcRegion > MaxRegionIndex || p.DstRegion > MaxRegionIndex || p.DstBuilding > MaxRegionIndex {
+		return nil, fmt.Errorf("packet: region prefix (%d,%d,%d): %w",
+			p.SrcRegion, p.DstRegion, p.DstBuilding, ErrRegionIndex)
+	}
+	dst = append(dst, RegionMagic, p.TTL)
+	dst = AppendUvarint(dst, uint64(p.SrcRegion))
+	dst = AppendUvarint(dst, uint64(p.DstRegion))
+	dst = AppendUvarint(dst, uint64(p.DstBuilding))
+	return dst, nil
+}
+
+// DecodeRegionPrefix parses a region prefix from the front of a link frame
+// and returns it plus the number of bytes consumed; b[n:] is the enclosed
+// intra-region frame.
+func DecodeRegionPrefix(b []byte) (RegionPrefix, int, error) {
+	if len(b) < 2 {
+		return RegionPrefix{}, 0, ErrShortBuffer
+	}
+	if b[0] != RegionMagic {
+		return RegionPrefix{}, 0, fmt.Errorf("packet: magic 0x%02x: %w", b[0], ErrBadRegionMagic)
+	}
+	p := RegionPrefix{TTL: b[1]}
+	off := 2
+	for i, field := range []*uint32{&p.SrcRegion, &p.DstRegion, &p.DstBuilding} {
+		u, n, err := Uvarint(b[off:])
+		if err != nil {
+			return RegionPrefix{}, 0, err
+		}
+		off += n
+		if u > MaxRegionIndex {
+			return RegionPrefix{}, 0, fmt.Errorf("packet: region prefix field %d = %d: %w", i, u, ErrRegionIndex)
+		}
+		*field = uint32(u)
+	}
+	return p, off, nil
+}

@@ -1,0 +1,111 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegionPrefixRoundTrip(t *testing.T) {
+	cases := []RegionPrefix{
+		{},
+		{SrcRegion: 1, DstRegion: 99, DstBuilding: 1234, TTL: 8},
+		{SrcRegion: MaxRegionIndex, DstRegion: MaxRegionIndex, DstBuilding: MaxRegionIndex, TTL: 255},
+	}
+	for _, want := range cases {
+		b, err := AppendRegionPrefix(nil, want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		if len(b) != want.EncodedLen() {
+			t.Errorf("EncodedLen = %d, encoded %d bytes", want.EncodedLen(), len(b))
+		}
+		if want.Bits() != 8*len(b) {
+			t.Errorf("Bits = %d, want %d", want.Bits(), 8*len(b))
+		}
+		// Trailing payload must be left for the caller.
+		b = append(b, 0xAA, 0xBB)
+		got, n, err := DecodeRegionPrefix(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+		if n != len(b)-2 {
+			t.Errorf("consumed %d bytes, want %d", n, len(b)-2)
+		}
+	}
+}
+
+func TestRegionPrefixConstantSize(t *testing.T) {
+	// The hierarchy's header argument: the prefix for a 100-region
+	// federation is the same single-digit byte count as for 2 regions.
+	small := RegionPrefix{SrcRegion: 0, DstRegion: 1, DstBuilding: 40, TTL: 4}
+	big := RegionPrefix{SrcRegion: 7, DstRegion: 99, DstBuilding: 120, TTL: 16}
+	if small.EncodedLen() != big.EncodedLen() {
+		t.Errorf("prefix grew with federation size: %d vs %d bytes",
+			small.EncodedLen(), big.EncodedLen())
+	}
+	if big.EncodedLen() > 8 {
+		t.Errorf("prefix is %d bytes; the shim must stay single-digit", big.EncodedLen())
+	}
+}
+
+func TestRegionPrefixBudgets(t *testing.T) {
+	if _, err := AppendRegionPrefix(nil, RegionPrefix{SrcRegion: MaxRegionIndex + 1}); !errors.Is(err, ErrRegionIndex) {
+		t.Errorf("oversized src region: err = %v", err)
+	}
+	if _, err := AppendRegionPrefix(nil, RegionPrefix{DstBuilding: MaxRegionIndex + 1}); !errors.Is(err, ErrRegionIndex) {
+		t.Errorf("oversized building: err = %v", err)
+	}
+	// Oversized varint on the wire is rejected at decode.
+	b := append([]byte{RegionMagic, 1}, AppendUvarint(nil, MaxRegionIndex+1)...)
+	b = AppendUvarint(b, 0)
+	b = AppendUvarint(b, 0)
+	if _, _, err := DecodeRegionPrefix(b); !errors.Is(err, ErrRegionIndex) {
+		t.Errorf("oversized wire index: err = %v", err)
+	}
+}
+
+func TestRegionPrefixDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeRegionPrefix(nil); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("nil: err = %v", err)
+	}
+	if _, _, err := DecodeRegionPrefix([]byte{0x00, 0x01, 0x02, 0x03, 0x04}); !errors.Is(err, ErrBadRegionMagic) {
+		t.Errorf("bad magic: err = %v", err)
+	}
+	// Truncated after the fixed bytes: every prefix-length truncation of a
+	// valid encoding must fail cleanly, never panic.
+	full, err := AppendRegionPrefix(nil, RegionPrefix{SrcRegion: 300, DstRegion: 5, DstBuilding: 70000, TTL: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 2; cut < len(full); cut++ {
+		if _, _, err := DecodeRegionPrefix(full[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func FuzzDecodeRegionPrefix(f *testing.F) {
+	seed, _ := AppendRegionPrefix(nil, RegionPrefix{SrcRegion: 3, DstRegion: 9, DstBuilding: 1234, TTL: 7})
+	f.Add(seed)
+	f.Add([]byte{RegionMagic, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, n, err := DecodeRegionPrefix(b)
+		if err != nil {
+			return
+		}
+		if n < 2 || n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		// Anything that decodes must re-encode (budgets were enforced).
+		out, err := AppendRegionPrefix(nil, p)
+		if err != nil {
+			t.Fatalf("decoded prefix %+v does not re-encode: %v", p, err)
+		}
+		if len(out) != p.EncodedLen() {
+			t.Fatalf("EncodedLen mismatch")
+		}
+	})
+}

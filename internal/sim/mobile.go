@@ -126,7 +126,7 @@ type ProbeEvent struct {
 //
 //	ic := sim.NewInvariantChecker(cfg)
 //	cfg.Probe = ic.Probe
-//	sim.Run(...)
+//	res, err := sim.NewEngine(m, city, pol).Run(pkt, cfg)
 //	violations := ic.Violations()
 //
 // When the run declares an Adversary, the checker runs adversary-aware:
